@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz experiments experiments-full cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzWriteAllUnderRandomPatterns -fuzztime 30s ./internal/writeall/
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-full:
+	$(GO) run ./cmd/experiments -full
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation: one table per
+// theorem/lemma/corollary/example, as indexed in DESIGN.md and recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run E6[,E9,...]] [-full]
+//
+// Without -run it executes every experiment; -full uses the (slower) sizes
+// recorded in EXPERIMENTS.md instead of the quick ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only   = fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
+		full   = fs.Bool("full", false, "use the full sizes recorded in EXPERIMENTS.md")
+		format = fs.String("format", "text", "output format: text or markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+	want := make(map[string]bool)
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		for _, table := range e.Run(scale) {
+			switch *format {
+			case "markdown", "md":
+				table.RenderMarkdown(os.Stdout)
+			default:
+				table.Render(os.Stdout)
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("  [%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -run=%q; known IDs are E1..E17", *only)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectsExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	if err := run([]string{"-run", "E4,E5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-run", "E99"})
+	if err == nil || !strings.Contains(err.Error(), "no experiments matched") {
+		t.Errorf("err = %v, want no-match error", err)
+	}
+}
+
+func TestRunAcceptsLowercaseIDs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	if err := run([]string{"-run", "e13"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllPrograms(t *testing.T) {
+	progs := []string{
+		"assign", "reduce-sum", "prefix-sum", "list-rank",
+		"odd-even-sort", "broadcast", "max-reduce", "tree-roots",
+	}
+	for _, p := range progs {
+		t.Run(p, func(t *testing.T) {
+			if err := run([]string{"-prog", p, "-n", "16", "-adv", "random", "-fail", "0.1"}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+	t.Run("matmul", func(t *testing.T) {
+		if err := run([]string{"-prog", "matmul", "-k", "3", "-dump"}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}
+
+func TestRunBothEngines(t *testing.T) {
+	for _, eng := range []string{"vx", "x"} {
+		if err := run([]string{"-prog", "assign", "-n", "16", "-engine", eng}); err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownProgram(t *testing.T) {
+	if err := run([]string{"-prog", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown program") {
+		t.Errorf("err = %v, want unknown program", err)
+	}
+}
+
+func TestRunRejectsUnknownAdversary(t *testing.T) {
+	if err := run([]string{"-adv", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown adversary") {
+		t.Errorf("err = %v, want unknown adversary", err)
+	}
+}
+
+func TestRunClampsProcessorCount(t *testing.T) {
+	// P > N is clamped to N rather than erroring.
+	if err := run([]string{"-prog", "assign", "-n", "8", "-p", "64"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPerStepOutput(t *testing.T) {
+	if err := run([]string{"-prog", "reduce-sum", "-n", "16", "-adv", "random", "-steps"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Command writeall runs one Write-All instance - a chosen algorithm
+// against a chosen adversary - and prints the paper's accounting measures.
+//
+// Usage:
+//
+//	writeall -alg X -adv halving -n 1024 -p 1024
+//	writeall -alg combined -adv random -fail 0.2 -restart 0.5 -seed 7 -n 512 -p 64
+//
+// Algorithms: X, V, combined, W, oblivious, ACC, trivial, sequential.
+// Adversaries: none, random, thrashing, rotating, halving, postorder,
+// stalking, stalking-failstop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	failstop "repro"
+	"repro/internal/adversary"
+	"repro/internal/pram"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("writeall", flag.ContinueOnError)
+	var (
+		algName = fs.String("alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
+		advName = fs.String("adv", "none", "adversary: none, random, thrashing, rotating, halving, postorder, stalking, stalking-failstop")
+		n       = fs.Int("n", 1024, "Write-All array size N")
+		p       = fs.Int("p", 0, "processor count P (0 means P = N)")
+		seed    = fs.Int64("seed", 1, "random seed (random adversary, ACC)")
+		failP   = fs.Float64("fail", 0.1, "per-tick failure probability (random adversary)")
+		restart = fs.Float64("restart", 0.5, "per-tick restart probability (random adversary)")
+		events  = fs.Int64("events", 0, "cap on failure+restart events, 0 = unlimited (random adversary)")
+		ticks   = fs.Int("ticks", 0, "tick budget, 0 = default")
+		csvPath = fs.String("csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
+		record  = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
+		replay  = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *p == 0 {
+		*p = *n
+	}
+
+	cfg := failstop.Config{N: *n, P: *p, MaxTicks: *ticks}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		var err error
+		csvFile, err = os.Create(*csvPath)
+		if err != nil {
+			return fmt.Errorf("create csv: %w", err)
+		}
+		defer csvFile.Close()
+		fmt.Fprintln(csvFile, "tick,alive,completed,failures,restarts")
+		cfg.Tracer = func(ts pram.TickStats) {
+			fmt.Fprintf(csvFile, "%d,%d,%d,%d,%d\n",
+				ts.Tick, ts.Alive, ts.Completed, ts.Failures, ts.Restarts)
+		}
+	}
+
+	var alg failstop.Algorithm
+	switch *algName {
+	case "X":
+		alg = failstop.NewX()
+	case "V":
+		alg = failstop.NewV()
+	case "combined":
+		alg = failstop.NewCombined()
+	case "W":
+		alg = failstop.NewW()
+	case "oblivious":
+		alg = failstop.NewOblivious()
+		cfg.AllowSnapshot = true
+	case "ACC":
+		alg = failstop.NewACC(*seed)
+	case "trivial":
+		alg = failstop.NewTrivial()
+	case "sequential":
+		alg = failstop.NewSequential()
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	var adv failstop.Adversary
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return fmt.Errorf("open pattern: %w", err)
+		}
+		pattern, err := adversary.ReadPattern(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		adv = adversary.NewScheduled(pattern)
+		*advName = "(replayed)"
+	}
+	switch *advName {
+	case "(replayed)":
+		// set above
+	case "none":
+		adv = failstop.NoFailures()
+	case "random":
+		if *events > 0 {
+			adv = failstop.BudgetedRandomFailures(*failP, *restart, *seed, *events)
+		} else {
+			adv = failstop.RandomFailures(*failP, *restart, *seed)
+		}
+	case "thrashing":
+		adv = failstop.ThrashingAdversary(false)
+	case "rotating":
+		adv = failstop.ThrashingAdversary(true)
+	case "halving":
+		adv = failstop.HalvingAdversary()
+	case "postorder":
+		adv = failstop.PostOrderAdversary(*n, *p)
+	case "stalking":
+		adv = failstop.StalkingAdversary(*n, *p, true)
+	case "stalking-failstop":
+		adv = failstop.StalkingAdversary(*n, *p, false)
+	default:
+		return fmt.Errorf("unknown adversary %q", *advName)
+	}
+
+	var recorder *adversary.Recorder
+	if *record != "" {
+		recorder = adversary.NewRecorder(adv)
+		adv = recorder
+	}
+
+	m, err := failstop.RunWriteAll(alg, adv, cfg)
+	if err != nil {
+		return fmt.Errorf("%s under %s: %w", alg.Name(), adv.Name(), err)
+	}
+	if recorder != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			return fmt.Errorf("create pattern file: %w", err)
+		}
+		defer f.Close()
+		if err := adversary.WritePattern(f, recorder.Pattern()); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("algorithm         %s\n", alg.Name())
+	fmt.Printf("adversary         %s\n", adv.Name())
+	fmt.Printf("N, P              %d, %d\n", *n, *p)
+	fmt.Printf("ticks             %d\n", m.Ticks)
+	fmt.Printf("completed work S  %d\n", m.S())
+	fmt.Printf("S' (with killed)  %d\n", m.SPrime())
+	fmt.Printf("failures/restarts %d/%d  (|F| = %d)\n", m.Failures, m.Restarts, m.FSize())
+	fmt.Printf("liveness vetoes   %d\n", m.Vetoes)
+	fmt.Printf("overhead sigma    %.3f\n", m.Overhead())
+	fmt.Printf("cycle maxima      %d reads, %d writes\n", m.MaxReads, m.MaxWrites)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithmAdversaryPairs(t *testing.T) {
+	algs := []string{"X", "V", "combined", "W", "oblivious", "ACC", "trivial", "sequential"}
+	for _, alg := range algs {
+		t.Run(alg, func(t *testing.T) {
+			if err := run([]string{"-alg", alg, "-n", "64", "-p", "16"}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+	advs := []string{"none", "random", "thrashing", "rotating", "halving", "postorder", "stalking-failstop"}
+	for _, adv := range advs {
+		t.Run(adv, func(t *testing.T) {
+			if err := run([]string{"-adv", adv, "-n", "64"}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownNames(t *testing.T) {
+	if err := run([]string{"-alg", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("err = %v, want unknown algorithm", err)
+	}
+	if err := run([]string{"-adv", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown adversary") {
+		t.Errorf("err = %v, want unknown adversary", err)
+	}
+}
+
+func TestRunSurfacesTickLimit(t *testing.T) {
+	// V under the rotating thrasher stalls; the error must reach main.
+	err := run([]string{"-alg", "V", "-adv", "rotating", "-n", "32", "-ticks", "500"})
+	if err == nil || !strings.Contains(err.Error(), "tick limit") {
+		t.Errorf("err = %v, want tick limit", err)
+	}
+}
+
+func TestRunWritesCSVProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.csv")
+	if err := run([]string{"-alg", "X", "-adv", "random", "-n", "32", "-csv", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "tick,alive,completed,failures,restarts" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Error("no profile rows written")
+	}
+}
+
+func TestRunBudgetedEvents(t *testing.T) {
+	if err := run([]string{"-adv", "random", "-events", "10", "-n", "64"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRecordAndReplayPattern(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pattern.json")
+	if err := run([]string{"-alg", "X", "-adv", "halving", "-n", "32", "-record", path}); err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("pattern file missing: %v", err)
+	}
+	if err := run([]string{"-alg", "X", "-n", "32", "-replay", path}); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+}
+
+func TestRunReplayRejectsMissingFile(t *testing.T) {
+	if err := run([]string{"-replay", "/nonexistent/pattern.json"}); err == nil {
+		t.Fatal("want error for missing pattern file")
+	}
+}

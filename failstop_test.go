@@ -1,0 +1,188 @@
+package failstop_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	failstop "repro"
+	"repro/internal/pram"
+	"repro/internal/prog"
+)
+
+func TestRunWriteAllAllPublicAlgorithms(t *testing.T) {
+	algs := []struct {
+		mk       func() failstop.Algorithm
+		snapshot bool
+	}{
+		{mk: failstop.NewX},
+		{mk: failstop.NewXInPlace},
+		{mk: failstop.NewV},
+		{mk: failstop.NewCombined},
+		{mk: failstop.NewW},
+		{mk: failstop.NewOblivious, snapshot: true},
+		{mk: func() failstop.Algorithm { return failstop.NewACC(11) }},
+		{mk: failstop.NewTrivial},
+		{mk: failstop.NewSequential},
+	}
+	for _, tt := range algs {
+		alg := tt.mk()
+		t.Run(alg.Name(), func(t *testing.T) {
+			cfg := failstop.Config{N: 64, P: 16, AllowSnapshot: tt.snapshot}
+			got, err := failstop.RunWriteAll(tt.mk(), failstop.NoFailures(), cfg)
+			if err != nil {
+				t.Fatalf("RunWriteAll: %v", err)
+			}
+			if got.S() == 0 {
+				t.Error("S = 0; no work recorded")
+			}
+		})
+	}
+}
+
+func TestRunWriteAllAllPublicAdversaries(t *testing.T) {
+	const n, p = 64, 16
+	advs := []failstop.Adversary{
+		failstop.NoFailures(),
+		failstop.RandomFailures(0.2, 0.5, 3),
+		failstop.BudgetedRandomFailures(0.2, 0.5, 3, 40),
+		failstop.ThrashingAdversary(false),
+		failstop.ThrashingAdversary(true),
+		failstop.HalvingAdversary(),
+		failstop.PostOrderAdversary(n, p),
+		failstop.StalkingAdversary(n, p, true),
+		failstop.StalkingAdversary(n, p, false),
+	}
+	for _, adv := range advs {
+		t.Run(adv.Name(), func(t *testing.T) {
+			if _, err := failstop.RunWriteAll(failstop.NewX(), adv,
+				failstop.Config{N: n, P: p}); err != nil {
+				t.Fatalf("RunWriteAll: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunWriteAllRejectsBadConfig(t *testing.T) {
+	if _, err := failstop.RunWriteAll(failstop.NewX(), failstop.NoFailures(),
+		failstop.Config{N: 0, P: 4}); err == nil {
+		t.Fatal("want error for N = 0")
+	}
+}
+
+func TestExecuteValidatesOutput(t *testing.T) {
+	p := prog.PrefixSum{N: 64}
+	res, err := failstop.Execute(p, 64, failstop.RandomFailures(0.2, 0.6, 5), failstop.Config{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if err := p.Check(res.Memory); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Metrics.FSize() == 0 {
+		t.Error("|F| = 0; adversary never fired")
+	}
+}
+
+func TestExecuteRejectsOversubscription(t *testing.T) {
+	if _, err := failstop.Execute(prog.Assign{N: 4}, 16,
+		failstop.NoFailures(), failstop.Config{}); err == nil {
+		t.Fatal("want error for P > N")
+	}
+}
+
+func TestExecuteEnginesAgreeOnOutput(t *testing.T) {
+	p := prog.ListRank{N: 32}
+	var memories [][]failstop.Word
+	for _, eng := range []failstop.Engine{failstop.EngineVX, failstop.EngineX} {
+		res, err := failstop.ExecuteWithEngine(p, 8,
+			failstop.RandomFailures(0.15, 0.6, 77), failstop.Config{}, eng)
+		if err != nil {
+			t.Fatalf("ExecuteWithEngine(%v): %v", eng, err)
+		}
+		memories = append(memories, res.Memory)
+	}
+	for i := range memories[0] {
+		if memories[0][i] != memories[1][i] {
+			t.Fatalf("engines disagree at cell %d: %d vs %d",
+				i, memories[0][i], memories[1][i])
+		}
+	}
+}
+
+func TestPublicWriteAllPostconditionProperty(t *testing.T) {
+	f := func(rawN uint8, rawP uint8, seed int64) bool {
+		n := int(rawN%100) + 1
+		p := int(rawP)%n + 1
+		_, err := failstop.RunWriteAll(
+			failstop.NewCombined(),
+			failstop.RandomFailures(0.25, 0.6, seed),
+			failstop.Config{N: n, P: p},
+		)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVStallsButCombinedFinishes(t *testing.T) {
+	// The headline Theorem 4.9 behaviour through the public API.
+	cfg := failstop.Config{N: 64, P: 64, MaxTicks: 5000}
+	_, err := failstop.RunWriteAll(failstop.NewV(), failstop.ThrashingAdversary(true), cfg)
+	if !errors.Is(err, pram.ErrTickLimit) {
+		t.Fatalf("V err = %v, want tick limit (stall)", err)
+	}
+	if _, err := failstop.RunWriteAll(failstop.NewCombined(),
+		failstop.ThrashingAdversary(true), cfg); err != nil {
+		t.Fatalf("combined err = %v, want success", err)
+	}
+}
+
+func ExampleRunWriteAll() {
+	metrics, err := failstop.RunWriteAll(
+		failstop.NewCombined(),
+		failstop.NoFailures(),
+		failstop.Config{N: 8, P: 8},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("failures:", metrics.FSize())
+	// Output: failures: 0
+}
+
+func ExampleExecute() {
+	res, err := failstop.Execute(
+		prog.ReduceSum{N: 8}, // sums 1..8 into cell 0
+		8,
+		failstop.RandomFailures(0.3, 0.7, 4),
+		failstop.Config{},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sum:", res.Memory[0])
+	// Output: sum: 36
+}
+
+func TestFacadeNames(t *testing.T) {
+	tests := []struct {
+		give interface{ Name() string }
+		want string
+	}{
+		{give: failstop.NewReplicated(), want: "replicated"},
+		{give: failstop.NewOblivious(), want: "oblivious"},
+		{give: failstop.PostOrderAdversary(16, 4), want: "postorder"},
+		{give: failstop.StalkingAdversary(16, 4, true), want: "stalking"},
+		{give: failstop.StalkingAdversary(16, 4, false), want: "stalking-failstop"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package adversary provides on-line failure/restart adversaries for the
+// restartable fail-stop PRAM of package pram.
+//
+// The adversaries here are algorithm-agnostic; they rely only on the
+// machine view and on the repository-wide convention that Write-All
+// algorithms keep the input array x in shared cells [0, N). Adversaries
+// tied to a particular algorithm's data structures (the post-order
+// adversary against algorithm X of Theorem 4.8 and the leaf-stalking
+// adversary against ACC of Section 5) live next to those algorithms in
+// package writeall.
+package adversary
+
+import "repro/internal/pram"
+
+// None is the failure-free adversary.
+type None struct{}
+
+// Name implements pram.Adversary.
+func (None) Name() string { return "none" }
+
+// Decide implements pram.Adversary: no failures, no restarts.
+func (None) Decide(*pram.View) pram.Decision { return pram.Decision{} }
+
+var _ pram.Adversary = None{}
+
+// EventKind tags a scheduled failure-pattern event.
+type EventKind int
+
+const (
+	// Fail kills a processor.
+	Fail EventKind = iota + 1
+	// Restart revives a processor.
+	Restart
+)
+
+// Event is one triple of the failure pattern F of Definition 2.1:
+// <tag, PID, t>, extended with the fail point within the update cycle.
+type Event struct {
+	Tick  int
+	PID   int
+	Kind  EventKind
+	Point pram.FailPoint // used for Fail events; zero means FailBeforeReads
+}
+
+// Scheduled replays a fixed failure pattern. It models an off-line
+// (non-adaptive) adversary: the pattern is chosen before the run.
+type Scheduled struct {
+	byTick map[int][]Event
+}
+
+// NewScheduled builds a replay adversary from a pattern. Events with the
+// same tick apply together in that tick.
+func NewScheduled(pattern []Event) *Scheduled {
+	byTick := make(map[int][]Event, len(pattern))
+	for _, e := range pattern {
+		byTick[e.Tick] = append(byTick[e.Tick], e)
+	}
+	return &Scheduled{byTick: byTick}
+}
+
+// Name implements pram.Adversary.
+func (s *Scheduled) Name() string { return "scheduled" }
+
+// Decide implements pram.Adversary.
+func (s *Scheduled) Decide(v *pram.View) pram.Decision {
+	events := s.byTick[v.Tick]
+	if len(events) == 0 {
+		return pram.Decision{}
+	}
+	dec := pram.Decision{Failures: make(map[int]pram.FailPoint, len(events))}
+	for _, e := range events {
+		switch e.Kind {
+		case Fail:
+			p := e.Point
+			if p == pram.NoFailure {
+				p = pram.FailBeforeReads
+			}
+			dec.Failures[e.PID] = p
+		case Restart:
+			dec.Restarts = append(dec.Restarts, e.PID)
+		}
+	}
+	return dec
+}
+
+var _ pram.Adversary = (*Scheduled)(nil)

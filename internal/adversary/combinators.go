@@ -1,0 +1,128 @@
+package adversary
+
+import "repro/internal/pram"
+
+// Composite unions the decisions of several adversaries each tick. When
+// two adversaries disagree about a processor's fail point, the earlier
+// one in the list wins. Use it to layer attacks, e.g. background random
+// churn plus a targeted strategy.
+type Composite struct {
+	parts []pram.Adversary
+}
+
+// NewComposite combines adversaries; order sets fail-point priority.
+func NewComposite(parts ...pram.Adversary) *Composite {
+	return &Composite{parts: parts}
+}
+
+// Name implements pram.Adversary.
+func (c *Composite) Name() string {
+	name := "composite("
+	for i, p := range c.parts {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// Decide implements pram.Adversary.
+func (c *Composite) Decide(v *pram.View) pram.Decision {
+	var out pram.Decision
+	restarted := make(map[int]bool)
+	for _, p := range c.parts {
+		dec := p.Decide(v)
+		for pid, fp := range dec.Failures {
+			if fp == pram.NoFailure {
+				continue
+			}
+			if out.Failures == nil {
+				out.Failures = make(map[int]pram.FailPoint)
+			}
+			if _, taken := out.Failures[pid]; !taken {
+				out.Failures[pid] = fp
+			}
+		}
+		for _, pid := range dec.Restarts {
+			if !restarted[pid] {
+				restarted[pid] = true
+				out.Restarts = append(out.Restarts, pid)
+			}
+		}
+	}
+	return out
+}
+
+var _ pram.Adversary = (*Composite)(nil)
+
+// Window activates an inner adversary only during the tick interval
+// [From, To) (To = 0 means forever). Outside the window it issues nothing,
+// modeling failure bursts.
+type Window struct {
+	Inner    pram.Adversary
+	From, To int
+}
+
+// NewWindow restricts inner to ticks in [from, to); to = 0 means no upper
+// bound.
+func NewWindow(inner pram.Adversary, from, to int) *Window {
+	return &Window{Inner: inner, From: from, To: to}
+}
+
+// Name implements pram.Adversary.
+func (w *Window) Name() string { return w.Inner.Name() + "@window" }
+
+// Decide implements pram.Adversary.
+func (w *Window) Decide(v *pram.View) pram.Decision {
+	if v.Tick < w.From || (w.To > 0 && v.Tick >= w.To) {
+		return pram.Decision{}
+	}
+	return w.Inner.Decide(v)
+}
+
+var _ pram.Adversary = (*Window)(nil)
+
+// Targeted fails a fixed set of processors whenever they are alive and
+// optionally revives them after RevivalDelay ticks, modeling persistent
+// faults in specific hardware.
+type Targeted struct {
+	// PIDs is the set of persistently attacked processors.
+	PIDs []int
+	// Point is the fail point used (zero means FailBeforeReads).
+	Point pram.FailPoint
+	// Revive restarts attacked processors every tick (they die again on
+	// arrival); when false they stay dead after the first kill.
+	Revive bool
+}
+
+// Name implements pram.Adversary.
+func (t *Targeted) Name() string { return "targeted" }
+
+// Decide implements pram.Adversary.
+func (t *Targeted) Decide(v *pram.View) pram.Decision {
+	var dec pram.Decision
+	point := t.Point
+	if point == pram.NoFailure {
+		point = pram.FailBeforeReads
+	}
+	for _, pid := range t.PIDs {
+		if pid < 0 || pid >= v.P {
+			continue
+		}
+		switch v.States[pid] {
+		case pram.Alive:
+			if dec.Failures == nil {
+				dec.Failures = make(map[int]pram.FailPoint)
+			}
+			dec.Failures[pid] = point
+		case pram.Dead:
+			if t.Revive {
+				dec.Restarts = append(dec.Restarts, pid)
+			}
+		}
+	}
+	return dec
+}
+
+var _ pram.Adversary = (*Targeted)(nil)

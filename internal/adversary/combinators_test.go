@@ -1,0 +1,111 @@
+package adversary_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+func TestCompositeLayersAttacks(t *testing.T) {
+	// Background random churn plus a targeted persistent fault.
+	bg := adversary.NewRandom(0.1, 0.8, 3)
+	target := &adversary.Targeted{PIDs: []int{1}, Revive: true}
+	comp := adversary.NewComposite(target, bg)
+	got := runX(t, 64, 8, comp)
+	if got.FSize() == 0 {
+		t.Error("composite issued no events")
+	}
+	if !strings.Contains(comp.Name(), "targeted") || !strings.Contains(comp.Name(), "random") {
+		t.Errorf("Name() = %q, want both parts", comp.Name())
+	}
+}
+
+func TestCompositeFirstPartWinsFailPoints(t *testing.T) {
+	a := adversary.NewScheduled([]adversary.Event{
+		{Tick: 0, PID: 1, Kind: adversary.Fail, Point: pram.FailAfterReads},
+	})
+	b := adversary.NewScheduled([]adversary.Event{
+		{Tick: 0, PID: 1, Kind: adversary.Fail, Point: pram.FailBeforeReads},
+		{Tick: 2, PID: 1, Kind: adversary.Restart},
+	})
+	got := runX(t, 16, 4, adversary.NewComposite(a, b))
+	// FailAfterReads (from a, the first part) produces an incomplete
+	// cycle; FailBeforeReads would not.
+	if got.Incomplete != 1 {
+		t.Errorf("Incomplete = %d, want 1 (first part's fail point must win)", got.Incomplete)
+	}
+}
+
+func TestWindowConfinesAttacks(t *testing.T) {
+	inner := adversary.Thrashing{}
+	w := adversary.NewWindow(inner, 2, 4)
+	got := runX(t, 32, 8, w)
+	if got.Failures == 0 {
+		t.Error("window never opened")
+	}
+	// Only ticks 2 and 3 thrash: at most 7 kills each.
+	if got.Failures > 14 {
+		t.Errorf("Failures = %d, want <= 14 (2 windowed ticks)", got.Failures)
+	}
+}
+
+func TestWindowUnboundedUpperEdge(t *testing.T) {
+	w := adversary.NewWindow(adversary.NewRandom(0.2, 0.9, 5), 1, 0)
+	got := runX(t, 32, 8, w)
+	if got.Failures == 0 {
+		t.Error("unbounded window never fired")
+	}
+}
+
+func TestTargetedWithoutReviveKillsOnce(t *testing.T) {
+	target := &adversary.Targeted{PIDs: []int{2, 3}}
+	got := runX(t, 32, 8, target)
+	if got.Failures != 2 {
+		t.Errorf("Failures = %d, want 2", got.Failures)
+	}
+	if got.Restarts != 0 {
+		t.Errorf("Restarts = %d, want 0", got.Restarts)
+	}
+}
+
+func TestTargetedReviveKeepsVictimsDeadEffectively(t *testing.T) {
+	// Persistently attacked processors flap but never contribute; the
+	// rest complete the task.
+	target := &adversary.Targeted{PIDs: []int{0, 1}, Revive: true, Point: pram.FailAfterReads}
+	got := runX(t, 32, 8, target)
+	if got.Failures < 2 || got.Restarts < 1 {
+		t.Errorf("F/R = %d/%d; expected sustained flapping", got.Failures, got.Restarts)
+	}
+	_ = writeall.Verify // (postcondition asserted inside runX)
+}
+
+func TestTargetedIgnoresOutOfRangePIDs(t *testing.T) {
+	target := &adversary.Targeted{PIDs: []int{-1, 99}}
+	got := runX(t, 16, 4, target)
+	if got.FSize() != 0 {
+		t.Errorf("|F| = %d, want 0", got.FSize())
+	}
+}
+
+func TestCombinatorNames(t *testing.T) {
+	w := adversary.NewWindow(adversary.None{}, 0, 5)
+	if got, want := w.Name(), "none@window"; got != want {
+		t.Errorf("Window.Name() = %q, want %q", got, want)
+	}
+	tg := &adversary.Targeted{}
+	if got := tg.Name(); got != "targeted" {
+		t.Errorf("Targeted.Name() = %q", got)
+	}
+}
+
+func TestRandomEventsCounter(t *testing.T) {
+	r := adversary.NewRandom(0.5, 0.9, 3)
+	r.MaxEvents = 20
+	runX(t, 64, 16, r)
+	if r.Events() == 0 || r.Events() > 20 {
+		t.Errorf("Events() = %d, want in (0, 20]", r.Events())
+	}
+}

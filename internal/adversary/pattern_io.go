@@ -1,0 +1,83 @@
+package adversary
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pram"
+)
+
+// patternFile is the JSON representation of a failure pattern F: the
+// paper's <tag, PID, t> triples plus fail points.
+type patternFile struct {
+	Events []patternEvent `json:"events"`
+}
+
+type patternEvent struct {
+	Tick  int    `json:"tick"`
+	PID   int    `json:"pid"`
+	Kind  string `json:"kind"`
+	Point string `json:"point,omitempty"`
+}
+
+// WritePattern serializes a failure pattern as JSON.
+func WritePattern(w io.Writer, pattern []Event) error {
+	pf := patternFile{Events: make([]patternEvent, 0, len(pattern))}
+	for _, e := range pattern {
+		pe := patternEvent{Tick: e.Tick, PID: e.PID}
+		switch e.Kind {
+		case Fail:
+			pe.Kind = "fail"
+			pe.Point = e.Point.String()
+		case Restart:
+			pe.Kind = "restart"
+		default:
+			return fmt.Errorf("adversary: unknown event kind %d", e.Kind)
+		}
+		pf.Events = append(pf.Events, pe)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pf)
+}
+
+// ReadPattern parses a failure pattern written by WritePattern.
+func ReadPattern(r io.Reader) ([]Event, error) {
+	var pf patternFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("adversary: parse pattern: %w", err)
+	}
+	events := make([]Event, 0, len(pf.Events))
+	for i, pe := range pf.Events {
+		e := Event{Tick: pe.Tick, PID: pe.PID}
+		switch pe.Kind {
+		case "fail":
+			e.Kind = Fail
+			point, err := parsePoint(pe.Point)
+			if err != nil {
+				return nil, fmt.Errorf("adversary: event %d: %w", i, err)
+			}
+			e.Point = point
+		case "restart":
+			e.Kind = Restart
+		default:
+			return nil, fmt.Errorf("adversary: event %d: unknown kind %q", i, pe.Kind)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func parsePoint(s string) (pram.FailPoint, error) {
+	switch s {
+	case "", pram.FailBeforeReads.String():
+		return pram.FailBeforeReads, nil
+	case pram.FailAfterReads.String():
+		return pram.FailAfterReads, nil
+	case pram.FailAfterWrite1.String():
+		return pram.FailAfterWrite1, nil
+	default:
+		return pram.NoFailure, fmt.Errorf("unknown fail point %q", s)
+	}
+}

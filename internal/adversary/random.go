@@ -1,0 +1,77 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/pram"
+)
+
+// Random fails each alive processor independently with probability
+// FailProb per tick and restarts each dead processor with probability
+// RestartProb per tick. With MaxEvents > 0 the total number of failure and
+// restart events is capped, giving a failure pattern of bounded size M for
+// the M-sweeps of Theorem 4.3. Runs are deterministic for a fixed Seed.
+type Random struct {
+	FailProb    float64
+	RestartProb float64
+	MaxEvents   int64
+	Seed        int64
+	// Points optionally weights the fail points; nil means always
+	// FailBeforeReads.
+	Points []pram.FailPoint
+
+	rng    *rand.Rand
+	events int64
+}
+
+// NewRandom returns a Random adversary with the given per-tick fail and
+// restart probabilities.
+func NewRandom(failProb, restartProb float64, seed int64) *Random {
+	return &Random{FailProb: failProb, RestartProb: restartProb, Seed: seed}
+}
+
+// Name implements pram.Adversary.
+func (r *Random) Name() string { return "random" }
+
+// Decide implements pram.Adversary.
+func (r *Random) Decide(v *pram.View) pram.Decision {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.Seed))
+	}
+	var dec pram.Decision
+	for pid, st := range v.States {
+		if r.MaxEvents > 0 && r.events >= r.MaxEvents {
+			break
+		}
+		switch st {
+		case pram.Alive:
+			if r.rng.Float64() < r.FailProb {
+				if dec.Failures == nil {
+					dec.Failures = make(map[int]pram.FailPoint)
+				}
+				dec.Failures[pid] = r.point()
+				r.events++
+			}
+		case pram.Dead:
+			if r.rng.Float64() < r.RestartProb {
+				dec.Restarts = append(dec.Restarts, pid)
+				r.events++
+			}
+		}
+	}
+	return dec
+}
+
+// Events reports how many failure/restart events the adversary has issued.
+// The machine may have ignored some (e.g. liveness vetoes), so the metrics
+// are authoritative; this is a convenience for tests.
+func (r *Random) Events() int64 { return r.events }
+
+func (r *Random) point() pram.FailPoint {
+	if len(r.Points) == 0 {
+		return pram.FailBeforeReads
+	}
+	return r.Points[r.rng.Intn(len(r.Points))]
+}
+
+var _ pram.Adversary = (*Random)(nil)

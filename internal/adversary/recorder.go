@@ -1,0 +1,54 @@
+package adversary
+
+import "repro/internal/pram"
+
+// Recorder wraps an on-line adversary and records the failure pattern F
+// it actually inflicts (the <tag, PID, t> triples of Definition 2.1, plus
+// fail points). The recorded pattern can then be replayed with
+// NewScheduled against a different run - turning any adaptive adversary
+// into an off-line one, which is how the paper distinguishes the two:
+// randomized algorithms like ACC are efficient against the *replayed*
+// (off-line) pattern even when the *live* (on-line) adversary ruins them,
+// because fresh coin flips decorrelate the run from the old pattern.
+type Recorder struct {
+	inner pram.Adversary
+
+	pattern []Event
+}
+
+// NewRecorder wraps inner, recording every decision it makes.
+func NewRecorder(inner pram.Adversary) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Name implements pram.Adversary.
+func (r *Recorder) Name() string { return r.inner.Name() + "+recorded" }
+
+// Decide implements pram.Adversary.
+func (r *Recorder) Decide(v *pram.View) pram.Decision {
+	dec := r.inner.Decide(v)
+	for pid, fp := range dec.Failures {
+		if fp == pram.NoFailure {
+			continue
+		}
+		r.pattern = append(r.pattern, Event{
+			Tick: v.Tick, PID: pid, Kind: Fail, Point: fp,
+		})
+	}
+	for _, pid := range dec.Restarts {
+		r.pattern = append(r.pattern, Event{Tick: v.Tick, PID: pid, Kind: Restart})
+	}
+	return dec
+}
+
+// Pattern returns a copy of the recorded failure pattern.
+func (r *Recorder) Pattern() []Event {
+	out := make([]Event, len(r.pattern))
+	copy(out, r.pattern)
+	return out
+}
+
+// Replay returns an off-line adversary replaying the recorded pattern.
+func (r *Recorder) Replay() *Scheduled { return NewScheduled(r.Pattern()) }
+
+var _ pram.Adversary = (*Recorder)(nil)

@@ -1,0 +1,67 @@
+package adversary
+
+import "repro/internal/pram"
+
+// Thrashing is the adversary of Example 2.2: every tick it lets all
+// processors perform their reads and computation, fails all but one of
+// them immediately before their writes, and then restarts every failed
+// processor. Exactly one update cycle completes per tick, so the
+// charge-everything work S' grows like P per tick (quadratic for Write-All
+// with P = N) while the completed work S grows by one per tick - the
+// observation that motivates the paper's update-cycle accounting.
+//
+// With Rotate set, the surviving processor rotates with the clock, so no
+// processor ever completes more than one consecutive cycle. This is the
+// pattern under which an iterative algorithm like V cannot finish any
+// iteration and fails to terminate - the weakness Theorem 4.9's combined
+// algorithm cures - while X still progresses one cycle per tick.
+type Thrashing struct {
+	// Rotate makes the spared processor rotate each tick instead of
+	// always sparing the lowest-PID live processor.
+	Rotate bool
+}
+
+// Name implements pram.Adversary.
+func (a Thrashing) Name() string {
+	if a.Rotate {
+		return "thrashing-rotating"
+	}
+	return "thrashing"
+}
+
+// Decide implements pram.Adversary.
+func (a Thrashing) Decide(v *pram.View) pram.Decision {
+	var dec pram.Decision
+	survivor := -1
+	if a.Rotate {
+		want := v.Tick % v.P
+		if v.States[want] == pram.Alive {
+			survivor = want
+		}
+	}
+	if survivor == -1 {
+		for pid, st := range v.States {
+			if st == pram.Alive {
+				survivor = pid
+				break
+			}
+		}
+	}
+	for pid, st := range v.States {
+		switch st {
+		case pram.Alive:
+			if pid == survivor {
+				continue
+			}
+			if dec.Failures == nil {
+				dec.Failures = make(map[int]pram.FailPoint, v.Alive)
+			}
+			dec.Failures[pid] = pram.FailAfterReads
+		case pram.Dead:
+			dec.Restarts = append(dec.Restarts, pid)
+		}
+	}
+	return dec
+}
+
+var _ pram.Adversary = Thrashing{}

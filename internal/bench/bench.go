@@ -1,0 +1,172 @@
+// Package bench is the experiment harness that regenerates, for every
+// theorem, lemma, corollary and example in the paper's evaluation, the
+// quantitative shape it claims (growth exponents, crossovers, ratios).
+// DESIGN.md's per-experiment index maps each experiment (E1-E17) to its
+// paper claim; EXPERIMENTS.md records paper-vs-measured results.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/pram"
+)
+
+// Scale selects experiment sizes: Quick keeps each experiment within a few
+// seconds (used by the bench_test.go targets), Full uses the sizes
+// reported in EXPERIMENTS.md.
+type Scale int
+
+const (
+	// Quick runs reduced sizes for smoke-testing and benchmarks.
+	Quick Scale = iota + 1
+	// Full runs the sizes recorded in EXPERIMENTS.md.
+	Full
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E6").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper result and the expected shape.
+	Claim string
+	// Header and Rows hold the tabular data.
+	Header []string
+	Rows   [][]string
+	// Notes holds derived observations (fitted slopes, verdicts).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "  paper: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  -> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown, for
+// regenerating EXPERIMENTS.md sections.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "**Paper.** %s\n\n", t.Claim)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	// ID is the identifier used by `cmd/experiments -run`.
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run executes the experiment at the given scale.
+	Run func(s Scale) []Table
+}
+
+// All returns the full experiment registry in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Example 2.2: thrashing adversary and update-cycle accounting", Run: E1Thrashing},
+		{ID: "E2", Title: "Theorem 3.1: Omega(N log N) lower bound via the halving adversary", Run: E2LowerBound},
+		{ID: "E3", Title: "Theorem 3.2: O(N log N) oblivious snapshot upper bound", Run: E3Oblivious},
+		{ID: "E4", Title: "Lemma 4.2: algorithm V under fail-stop (no restart) failures", Run: E4VFailStop},
+		{ID: "E5", Title: "Theorem 4.3: algorithm V restart overhead M log N", Run: E5VRestart},
+		{ID: "E6", Title: "Theorem 4.8: algorithm X worst case ~ N^{log 3}", Run: E6XWorstCase},
+		{ID: "E7", Title: "Theorem 4.7: algorithm X work O(N * P^{log 1.5})", Run: E7XProcessorSweep},
+		{ID: "E8", Title: "Theorem 4.9: combined V+X takes the min of both bounds", Run: E8Combined},
+		{ID: "E9", Title: "Theorem 4.1/Cor 4.10: simulation overhead sigma = O(log^2 N)", Run: E9Simulation},
+		{ID: "E10", Title: "Corollary 4.11: sigma improves as |F| grows", Run: E10OverheadRatio},
+		{ID: "E11", Title: "Corollary 4.12: work-optimal range P <= N/log^2 N", Run: E11Optimality},
+		{ID: "E12", Title: "Section 5: stalking adversary vs randomized ACC", Run: E12Stalking},
+		{ID: "E13", Title: "Section 5 open problem: X under fail-stop without restarts", Run: E13XFailStop},
+		{ID: "E14", Title: "Remark 5 ablation: X local optimizations", Run: E14XAblation},
+		{ID: "E15", Title: "open question: W vs V without restarts", Run: E15WvsV},
+		{ID: "E16", Title: "load balance: V's allocation vs X's local search", Run: E16LoadBalance},
+		{ID: "E17", Title: "update-cycle budget audit (Section 5 open problem)", Run: E17CycleAudit},
+	}
+}
+
+// Slope fits a least-squares line to (log2 x, log2 y) and returns its
+// slope: the growth exponent of y in x.
+func Slope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		lx, ly := math.Log2(xs[i]), math.Log2(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// runWA executes one Write-All run and returns its metrics; errors abort
+// the experiment with a panic because experiments are driven by the CLI
+// and benches, where a failed run is a harness bug (algorithms are
+// verified in the test suite).
+func runWA(cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) pram.Metrics {
+	m, err := pram.New(cfg, alg, adv)
+	if err != nil {
+		panic(fmt.Sprintf("bench: New(%s, %s): %v", alg.Name(), adv.Name(), err))
+	}
+	got, err := m.Run()
+	if err != nil {
+		panic(fmt.Sprintf("bench: Run(%s, %s): %v", alg.Name(), adv.Name(), err))
+	}
+	return got
+}
+
+func log2(n int) float64 { return math.Log2(float64(n)) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }

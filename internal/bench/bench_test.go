@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+func TestSlopeFitsExactPowerLaws(t *testing.T) {
+	tests := []struct {
+		give string
+		exp  float64
+	}{
+		{give: "linear", exp: 1},
+		{give: "quadratic", exp: 2},
+		{give: "nlog3", exp: math.Log2(3)},
+		{give: "sqrt", exp: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			var xs, ys []float64
+			for _, x := range []float64{16, 32, 64, 128, 256} {
+				xs = append(xs, x)
+				ys = append(ys, 3*math.Pow(x, tt.exp))
+			}
+			if got := Slope(xs, ys); math.Abs(got-tt.exp) > 1e-9 {
+				t.Errorf("Slope = %v, want %v", got, tt.exp)
+			}
+		})
+	}
+}
+
+func TestSlopeDegenerateInputs(t *testing.T) {
+	if got := Slope(nil, nil); !math.IsNaN(got) {
+		t.Errorf("Slope(nil) = %v, want NaN", got)
+	}
+	if got := Slope([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("Slope(single point) = %v, want NaN", got)
+	}
+	if got := Slope([]float64{4, 4}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("Slope(vertical) = %v, want NaN", got)
+	}
+	if got := Slope([]float64{1, 2}, []float64{3}); !math.IsNaN(got) {
+		t.Errorf("Slope(mismatched) = %v, want NaN", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		ID:     "E0",
+		Title:  "demo",
+		Claim:  "claim text",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"bbbb", "22"}},
+		Notes:  []string{"note one"},
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"E0: demo", "claim text", "col", "bbbb", "-> note one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryIsCompleteAndOrdered(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("len(All()) = %d, want 17", len(all))
+	}
+	seen := make(map[string]bool, len(all))
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"E1", "E6", "E9", "E14"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+// TestQuickExperimentsProduceSaneTables runs every experiment at Quick
+// scale and validates table structure (headers match row widths, at least
+// one note). Takes a few seconds; skipped under -short.
+func TestQuickExperimentsProduceSaneTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			for _, tb := range e.Run(Quick) {
+				if len(tb.Rows) == 0 {
+					t.Error("table has no rows")
+				}
+				for i, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tb.Header))
+					}
+				}
+				if len(tb.Notes) == 0 {
+					t.Error("table has no interpretation notes")
+				}
+				if tb.Claim == "" {
+					t.Error("table cites no paper claim")
+				}
+			}
+		})
+	}
+}
+
+func TestStepOverhead(t *testing.T) {
+	m := pram.Metrics{N: 100, Completed: 5000, Failures: 300}
+	// sigma = S / (tau*N + |F|) with tau = 2.
+	want := 5000.0 / (2*100.0 + 300.0)
+	if got := stepOverhead(m, 2); got != want {
+		t.Errorf("stepOverhead = %v, want %v", got, want)
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := Table{
+		ID:     "E0",
+		Title:  "demo",
+		Claim:  "claim text",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}},
+		Notes:  []string{"note one"},
+	}
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	for _, want := range []string{"### E0: demo", "**Paper.** claim text", "| col | value |", "| --- | --- |", "| a | 1 |", "> note one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotLogLog(t *testing.T) {
+	series := []Series{
+		{Label: "cubic", Mark: '*', Xs: []float64{2, 4, 8, 16}, Ys: []float64{8, 64, 512, 4096}},
+		{Label: "linear", Mark: 'o', Xs: []float64{2, 4, 8, 16}, Ys: []float64{2, 4, 8, 16}},
+	}
+	lines := PlotLogLog("demo", series, 32, 8)
+	if len(lines) < 10 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"demo", "*", "o", "slope 3.00", "slope 1.00"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("plot missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestPlotLogLogDegenerate(t *testing.T) {
+	lines := PlotLogLog("empty", nil, 32, 8)
+	if len(lines) != 1 || !strings.Contains(lines[0], "not enough data") {
+		t.Errorf("degenerate plot = %v", lines)
+	}
+	one := PlotLogLog("one", []Series{{Mark: '*', Xs: []float64{4}, Ys: []float64{4}}}, 32, 8)
+	if len(one) != 1 {
+		t.Errorf("single-point plot = %v", one)
+	}
+}

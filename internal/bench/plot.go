@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotLogLog renders series as an ASCII log-log scatter plot, one rune per
+// series, with reference slopes drawn as annotations. It is used by
+// cmd/experiments to make growth exponents visible at a glance.
+func PlotLogLog(title string, series []Series, width, height int) []string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			if s.Xs[i] <= 0 || s.Ys[i] <= 0 {
+				continue
+			}
+			lx, ly := math.Log2(s.Xs[i]), math.Log2(s.Ys[i])
+			minX, maxX = math.Min(minX, lx), math.Max(maxX, lx)
+			minY, maxY = math.Min(minY, ly), math.Max(maxY, ly)
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX || maxY == minY {
+		return []string{title + ": not enough data to plot"}
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	put := func(lx, ly float64, mark rune) {
+		c := int((lx - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((ly-minY)/(maxY-minY)*float64(height-1))
+		if r >= 0 && r < height && c >= 0 && c < width {
+			grid[r][c] = mark
+		}
+	}
+	for _, s := range series {
+		for i := range s.Xs {
+			if s.Xs[i] <= 0 || s.Ys[i] <= 0 {
+				continue
+			}
+			put(math.Log2(s.Xs[i]), math.Log2(s.Ys[i]), s.Mark)
+		}
+	}
+
+	out := make([]string, 0, height+4)
+	out = append(out, fmt.Sprintf("%s (log2-log2; x: %.1f..%.1f, y: %.1f..%.1f)",
+		title, minX, maxX, minY, maxY))
+	for _, row := range grid {
+		out = append(out, "  |"+string(row))
+	}
+	out = append(out, "  +"+strings.Repeat("-", width))
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c = %s (slope %.2f)", s.Mark, s.Label, Slope(s.Xs, s.Ys)))
+	}
+	out = append(out, "   "+strings.Join(legend, "   "))
+	return out
+}
+
+// Series is one labeled data series for PlotLogLog.
+type Series struct {
+	Label  string
+	Mark   rune
+	Xs, Ys []float64
+}

@@ -1,0 +1,129 @@
+package pram
+
+// Processor is one simulated PRAM processor's program, expressed as a
+// sequence of update cycles. A Processor value holds the processor's
+// private memory; the machine discards it on failure and obtains a fresh
+// one (via Algorithm.NewProcessor) on restart, so private state never
+// survives a failure. The stable action counter exposed through Ctx is the
+// only state that does.
+type Processor interface {
+	// Cycle executes one update cycle: at most MaxReadsPerCycle shared
+	// reads, constant private computation, and at most MaxWritesPerCycle
+	// buffered shared writes, all through ctx. Returning Halt exits the
+	// computation once the cycle commits.
+	Cycle(ctx *Ctx) Status
+}
+
+// Algorithm describes a fault-tolerant PRAM algorithm to the machine.
+type Algorithm interface {
+	// Name identifies the algorithm in metrics and experiment tables.
+	Name() string
+
+	// MemorySize reports the number of shared cells the algorithm needs
+	// for an input of size n with p processors.
+	MemorySize(n, p int) int
+
+	// Setup writes the algorithm's initial shared-memory contents. The
+	// memory arrives zeroed, matching the paper's convention.
+	Setup(mem *Memory, n, p int)
+
+	// NewProcessor returns the initial (and post-restart) private state
+	// of processor pid. Restarted processors know only their PID, the
+	// machine parameters, and their stable action counter.
+	NewProcessor(pid, n, p int) Processor
+
+	// Done reports whether the algorithm's task is complete. The machine
+	// polls it once per tick to terminate runs.
+	Done(mem *Memory, n, p int) bool
+}
+
+// Ctx carries one processor's view of the machine during a single update
+// cycle. Reads observe the shared memory as of the start of the tick;
+// writes are buffered and committed synchronously at the end of the tick
+// under the machine's write policy.
+type Ctx struct {
+	pid  int
+	n    int
+	p    int
+	tick int
+
+	mem       *Memory
+	reads     int
+	readAddrs []int
+	writes    []bufferedWrite
+	snapshots int
+
+	stable    Word
+	newStable Word
+	stableSet bool
+
+	halted bool
+}
+
+type bufferedWrite struct {
+	addr int
+	val  Word
+}
+
+// PID returns the processor's permanent identifier in [0, P).
+func (c *Ctx) PID() int { return c.pid }
+
+// N returns the input size.
+func (c *Ctx) N() int { return c.n }
+
+// P returns the number of processors.
+func (c *Ctx) P() int { return c.p }
+
+// Tick returns the global synchronous clock. All PRAM processors share
+// this clock (the model is synchronous), which is how algorithm V's
+// iteration wrap-around counter re-synchronizes restarted processors.
+func (c *Ctx) Tick() int { return c.tick }
+
+// Read returns the value of shared cell addr as of the start of this tick.
+func (c *Ctx) Read(addr int) Word {
+	c.reads++
+	c.readAddrs = append(c.readAddrs, addr)
+	return c.mem.Load(addr)
+}
+
+// Write buffers a write of v to shared cell addr. Writes commit at the end
+// of the tick; if the processor is failed mid-cycle only a prefix of its
+// buffered writes commits (word writes are atomic, so each buffered write
+// either lands completely or not at all).
+func (c *Ctx) Write(addr int, v Word) {
+	c.writes = append(c.writes, bufferedWrite{addr: addr, val: v})
+}
+
+// Snapshot copies the entire shared memory into dst at unit cost. It is
+// the strong instruction assumed by Theorem 3.2 ("processors can read and
+// locally process the entire shared memory at unit cost") and is only
+// legal on machines configured with AllowSnapshot.
+func (c *Ctx) Snapshot(dst []Word) []Word {
+	c.snapshots++
+	return c.mem.CopyInto(dst)
+}
+
+// Stable returns the processor's stable action counter: the one word of
+// state that survives failures (the checkpointed instruction counter of
+// [SS 83], cf. the paper's Remark 6). It is zero initially.
+func (c *Ctx) Stable() Word { return c.stable }
+
+// SetStable records a new value for the stable action counter. Like the
+// cycle's writes, it commits only if the cycle completes ("checkpointing
+// the instruction counter ... as the last instruction of an action").
+func (c *Ctx) SetStable(v Word) {
+	c.newStable = v
+	c.stableSet = true
+}
+
+func (c *Ctx) reset(tick int, stable Word) {
+	c.tick = tick
+	c.reads = 0
+	c.readAddrs = c.readAddrs[:0]
+	c.writes = c.writes[:0]
+	c.snapshots = 0
+	c.stable = stable
+	c.newStable = 0
+	c.stableSet = false
+	c.halted = false
+}

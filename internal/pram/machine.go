@@ -1,0 +1,628 @@
+package pram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// LegalityMode selects how the machine handles an adversary decision that
+// violates the model's liveness rule ("at any time ... at least one
+// processor is executing an update cycle that successfully completes",
+// Section 2.1, condition 2(i)).
+type LegalityMode int
+
+const (
+	// VetoSpare silently spares one targeted processor so that at least
+	// one cycle completes, and counts the veto in the metrics. This is
+	// the default: it turns any adversary into a legal one.
+	VetoSpare LegalityMode = iota + 1
+	// ErrorOnIllegal aborts the run with an error instead.
+	ErrorOnIllegal
+)
+
+// Config parameterizes a machine.
+type Config struct {
+	// N is the input size; P the number of processors. Both must be
+	// positive.
+	N, P int
+	// Policy is the concurrent-access policy; the zero value means
+	// Common, the paper's model.
+	Policy WritePolicy
+	// AllowSnapshot permits the unit-cost whole-memory read instruction
+	// assumed by Theorem 3.2. Ordinary runs leave it false.
+	AllowSnapshot bool
+	// MaxTicks bounds the run; zero means DefaultMaxTicks. Exceeding it
+	// returns ErrTickLimit (it indicates a non-terminating run).
+	MaxTicks int
+	// Legality selects liveness-rule enforcement; zero means VetoSpare.
+	Legality LegalityMode
+	// CycleReadBudget and CycleWriteBudget override the default
+	// update-cycle bounds (MaxReadsPerCycle / MaxWritesPerCycle) when
+	// positive. The robust executor of Theorem 4.1 uses them: simulating
+	// one PRAM instruction inside a leaf visit expands the update cycle
+	// by the paper's fixed fetch/decode/execute constant.
+	CycleReadBudget, CycleWriteBudget int
+	// Tracer, if non-nil, receives one TickStats after every tick - the
+	// per-tick work/liveness profile behind the time-series outputs of
+	// cmd/writeall.
+	Tracer func(TickStats)
+	// TrackPerProcessor makes the machine count, per processor, completed
+	// cycles (Machine.ProcessorWork) and committed writes into the input
+	// region [0, N) (Machine.ProcessorProgress), for load-balance
+	// analyses.
+	TrackPerProcessor bool
+	// Scheduler, if non-nil, selects which live processors execute a
+	// cycle at each tick; unscheduled processors idle (uncharged,
+	// unfailed). It models the asynchronous PRAMs the paper's
+	// introduction situates itself against ([CZ 89], [Gib 89], [Nis 90],
+	// [MSP 90]): an adversarial schedule is a deterministic form of
+	// asynchrony. If the schedule leaves no live processor runnable, the
+	// machine runs all of them (a schedule cannot stop the clock).
+	Scheduler func(tick, pid int) bool
+}
+
+// TickStats is the per-tick profile delivered to Config.Tracer.
+type TickStats struct {
+	// Tick is the clock value the stats describe (before the tick ran).
+	Tick int
+	// Alive is the number of processors that attempted a cycle.
+	Alive int
+	// Completed is the number of cycles that completed this tick (the
+	// tick's contribution to S).
+	Completed int
+	// Failures and Restarts are this tick's event counts.
+	Failures, Restarts int
+}
+
+// DefaultMaxTicks bounds runs whose Config does not set MaxTicks.
+const DefaultMaxTicks = 1 << 26
+
+// Sentinel errors returned by Run.
+var (
+	// ErrTickLimit reports that the run did not terminate within the
+	// configured tick budget.
+	ErrTickLimit = errors.New("pram: tick limit exceeded")
+	// ErrIllegalAdversary reports a liveness-rule violation under
+	// ErrorOnIllegal.
+	ErrIllegalAdversary = errors.New("pram: adversary violates liveness rule")
+	// ErrAllHalted reports that every processor exited but the
+	// algorithm's Done predicate is still false (an algorithm bug).
+	ErrAllHalted = errors.New("pram: all processors halted before completion")
+	// ErrCycleLimit reports an update cycle exceeding the read/write
+	// bounds of Section 2.1.
+	ErrCycleLimit = errors.New("pram: update cycle exceeded read/write bounds")
+	// ErrCommonViolation reports concurrent writers disagreeing on a
+	// COMMON CRCW machine.
+	ErrCommonViolation = errors.New("pram: COMMON write conflict with differing values")
+	// ErrExclusiveViolation reports a concurrent access forbidden by a
+	// CREW or EREW policy.
+	ErrExclusiveViolation = errors.New("pram: concurrent access violates exclusivity policy")
+	// ErrSnapshotDisallowed reports use of the Theorem 3.2 snapshot
+	// instruction on a machine that does not allow it.
+	ErrSnapshotDisallowed = errors.New("pram: snapshot instruction not allowed by config")
+)
+
+// Machine simulates one run of an Algorithm against an Adversary.
+type Machine struct {
+	cfg Config
+	alg Algorithm
+	adv Adversary
+
+	mem     *Memory
+	states  []ProcState
+	procs   []Processor
+	stables []Word
+	ctxs    []*Ctx
+
+	tick         int
+	metrics      Metrics
+	procWork     []int64
+	procProgress []int64
+
+	// per-tick scratch
+	intents  []*Intent
+	intentsB []Intent
+	pending  []pendingCommit
+	view     View
+	writeBuf []taggedWrite
+	readBuf  []int
+}
+
+type pendingCommit struct {
+	pid       int
+	writes    []bufferedWrite // prefix to commit
+	stableSet bool
+	stable    Word
+	halts     bool
+	completed bool // whole cycle completed (charged)
+	started   bool // at least one instruction executed (S' accounting)
+}
+
+// New constructs a machine for one run.
+func New(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
+	if cfg.N <= 0 || cfg.P <= 0 {
+		return nil, fmt.Errorf("pram: N and P must be positive, got N=%d P=%d", cfg.N, cfg.P)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = Common
+	}
+	if cfg.MaxTicks == 0 {
+		cfg.MaxTicks = DefaultMaxTicks
+	}
+	if cfg.Legality == 0 {
+		cfg.Legality = VetoSpare
+	}
+	m := &Machine{
+		cfg:      cfg,
+		alg:      alg,
+		adv:      adv,
+		mem:      NewMemory(alg.MemorySize(cfg.N, cfg.P)),
+		states:   make([]ProcState, cfg.P),
+		procs:    make([]Processor, cfg.P),
+		stables:  make([]Word, cfg.P),
+		ctxs:     make([]*Ctx, cfg.P),
+		intents:  make([]*Intent, cfg.P),
+		intentsB: make([]Intent, cfg.P),
+		pending:  make([]pendingCommit, 0, cfg.P),
+	}
+	alg.Setup(m.mem, cfg.N, cfg.P)
+	for pid := 0; pid < cfg.P; pid++ {
+		m.states[pid] = Alive
+		m.procs[pid] = alg.NewProcessor(pid, cfg.N, cfg.P)
+		m.ctxs[pid] = &Ctx{pid: pid, n: cfg.N, p: cfg.P, mem: m.mem}
+	}
+	if cfg.TrackPerProcessor {
+		m.procWork = make([]int64, cfg.P)
+		m.procProgress = make([]int64, cfg.P)
+	}
+	m.metrics = Metrics{N: cfg.N, P: cfg.P}
+	return m, nil
+}
+
+// ProcessorWork returns each processor's completed-cycle count, or nil if
+// Config.TrackPerProcessor was not set. The returned slice is a copy.
+func (m *Machine) ProcessorWork() []int64 {
+	return copyCounts(m.procWork)
+}
+
+// ProcessorProgress returns each processor's count of committed writes
+// into the input region [0, N) - its direct contributions to the task -
+// or nil if Config.TrackPerProcessor was not set.
+func (m *Machine) ProcessorProgress() []int64 {
+	return copyCounts(m.procProgress)
+}
+
+func copyCounts(src []int64) []int64 {
+	if src == nil {
+		return nil
+	}
+	out := make([]int64, len(src))
+	copy(out, src)
+	return out
+}
+
+// Memory exposes the machine's shared memory, e.g. for inspecting results.
+func (m *Machine) Memory() *Memory { return m.mem }
+
+// Metrics returns the accounting collected so far.
+func (m *Machine) Metrics() Metrics { return m.metrics }
+
+// Tick returns the current clock value.
+func (m *Machine) Tick() int { return m.tick }
+
+// State returns processor pid's liveness.
+func (m *Machine) State(pid int) ProcState { return m.states[pid] }
+
+// Run executes ticks until the algorithm reports completion, returning the
+// final metrics. On error the metrics collected so far are still returned.
+func (m *Machine) Run() (Metrics, error) {
+	for {
+		done, err := m.Step()
+		if err != nil {
+			return m.metrics, err
+		}
+		if done {
+			return m.metrics, nil
+		}
+	}
+}
+
+// Step executes one synchronous tick. It returns done=true once the
+// algorithm's Done predicate holds (checked before executing a tick, so a
+// completed task does no further work).
+func (m *Machine) Step() (bool, error) {
+	if m.alg.Done(m.mem, m.cfg.N, m.cfg.P) {
+		return true, nil
+	}
+	if m.tick >= m.cfg.MaxTicks {
+		return false, fmt.Errorf("%w (tick=%d, algorithm=%s, adversary=%s)",
+			ErrTickLimit, m.tick, m.alg.Name(), m.adv.Name())
+	}
+	before := m.metrics
+
+	// Phase 1: compute every live processor's intent by executing its
+	// cycle against the tick-start memory. Writes and stable updates are
+	// buffered, so execution order cannot matter; private-state mutation
+	// is harmless because any killed processor loses private state.
+	scheduled := m.scheduledSet()
+	alive := 0
+	for pid := 0; pid < m.cfg.P; pid++ {
+		m.intents[pid] = nil
+		if m.states[pid] != Alive || !scheduled(pid) {
+			continue
+		}
+		alive++
+		ctx := m.ctxs[pid]
+		ctx.reset(m.tick, m.stables[pid])
+		status := m.procs[pid].Cycle(ctx)
+		if err := m.validateCycle(ctx); err != nil {
+			return false, err
+		}
+		in := &m.intentsB[pid]
+		in.Reads = ctx.readAddrs
+		in.Writes = in.Writes[:0]
+		for _, w := range ctx.writes {
+			in.Writes = append(in.Writes, WriteOp{Addr: w.addr, Val: w.val})
+		}
+		in.Halts = status == Halt
+		in.Snapshot = ctx.snapshots > 0
+		m.intents[pid] = in
+	}
+	if alive == 0 {
+		// No processor can complete a cycle; the adversary must restart
+		// someone. Give it the chance, then enforce liveness.
+		return m.deadTick()
+	}
+
+	// Phase 2: the adversary moves.
+	m.view = View{
+		Tick:    m.tick,
+		N:       m.cfg.N,
+		P:       m.cfg.P,
+		Mem:     m.mem,
+		States:  m.states,
+		Intents: m.intents,
+		Alive:   alive,
+	}
+	dec := m.adv.Decide(&m.view)
+
+	// Phase 3: liveness enforcement. At least one alive, scheduled
+	// processor must complete its cycle this tick.
+	survivors := alive
+	for pid, fp := range dec.Failures {
+		if fp != NoFailure && pid >= 0 && pid < m.cfg.P && m.states[pid] == Alive && m.intents[pid] != nil {
+			survivors--
+		}
+	}
+	if survivors == 0 {
+		if m.cfg.Legality == ErrorOnIllegal {
+			return false, fmt.Errorf("%w at tick %d (adversary=%s)",
+				ErrIllegalAdversary, m.tick, m.adv.Name())
+		}
+		m.spareOne(dec.Failures)
+		m.metrics.Vetoes++
+	}
+
+	// Phase 4: apply failures and collect commits. An alive processor
+	// that did not execute this tick (unscheduled) can still be failed,
+	// but its cycle never began: any fail point degrades to "nothing
+	// executed" and its stale context must not leak writes.
+	m.pending = m.pending[:0]
+	for pid := 0; pid < m.cfg.P; pid++ {
+		if m.states[pid] != Alive {
+			continue
+		}
+		ctx := m.ctxs[pid]
+		fp := dec.Failures[pid]
+		if m.intents[pid] == nil {
+			// Unscheduled this tick: only death can happen.
+			if fp != NoFailure {
+				m.states[pid] = Dead
+				m.procs[pid] = nil
+				m.metrics.Failures++
+			}
+			continue
+		}
+		pc := pendingCommit{pid: pid}
+		switch fp {
+		case NoFailure:
+			pc.writes = ctx.writes
+			pc.stableSet = ctx.stableSet
+			pc.stable = ctx.newStable
+			pc.halts = m.intents[pid].Halts
+			pc.completed = true
+			pc.started = true
+		case FailBeforeReads:
+			// The cycle never began: nothing executed, nothing charged.
+		case FailAfterReads:
+			pc.started = true
+		case FailAfterWrite1:
+			pc.started = true
+			if len(ctx.writes) > 0 {
+				pc.writes = ctx.writes[:1]
+			}
+		default:
+			return false, fmt.Errorf("pram: adversary %s returned invalid fail point %d for pid %d",
+				m.adv.Name(), fp, pid)
+		}
+		if fp != NoFailure {
+			m.states[pid] = Dead
+			m.procs[pid] = nil
+			m.metrics.Failures++
+			if pc.started {
+				m.metrics.Incomplete++
+			}
+		}
+		m.pending = append(m.pending, pc)
+	}
+
+	// Phase 5: resolve and commit all surviving writes synchronously.
+	if err := m.commitWrites(); err != nil {
+		return false, err
+	}
+	if m.procProgress != nil {
+		for _, pc := range m.pending {
+			for _, w := range pc.writes { // exactly the committed prefix
+				if w.addr < m.cfg.N {
+					m.procProgress[pc.pid]++
+				}
+			}
+		}
+	}
+	for _, pc := range m.pending {
+		if !pc.completed {
+			continue
+		}
+		m.metrics.Completed++
+		if m.procWork != nil {
+			m.procWork[pc.pid]++
+		}
+		if pc.stableSet {
+			m.stables[pc.pid] = pc.stable
+		}
+		if pc.halts {
+			m.states[pc.pid] = Halted
+			m.procs[pc.pid] = nil
+		}
+	}
+
+	// Phase 6: restarts take effect for the next tick. Restarted
+	// processors know only their PID and their stable action counter.
+	m.applyRestarts(dec.Restarts)
+
+	m.tick++
+	m.metrics.Ticks = m.tick
+	m.emitTickStats(alive, before)
+	if m.alg.Done(m.mem, m.cfg.N, m.cfg.P) {
+		return true, nil
+	}
+	if m.allHalted() {
+		return false, fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name())
+	}
+	return false, nil
+}
+
+// scheduledSet resolves this tick's runnable predicate: the configured
+// scheduler, unless it would idle every live processor, in which case
+// everyone runs.
+func (m *Machine) scheduledSet() func(pid int) bool {
+	if m.cfg.Scheduler == nil {
+		return func(int) bool { return true }
+	}
+	any := false
+	for pid := 0; pid < m.cfg.P; pid++ {
+		if m.states[pid] == Alive && m.cfg.Scheduler(m.tick, pid) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return func(int) bool { return true }
+	}
+	tick := m.tick
+	return func(pid int) bool { return m.cfg.Scheduler(tick, pid) }
+}
+
+// emitTickStats delivers the per-tick profile to the configured tracer.
+func (m *Machine) emitTickStats(alive int, before Metrics) {
+	if m.cfg.Tracer == nil {
+		return
+	}
+	m.cfg.Tracer(TickStats{
+		Tick:      m.tick - 1,
+		Alive:     alive,
+		Completed: int(m.metrics.Completed - before.Completed),
+		Failures:  int(m.metrics.Failures - before.Failures),
+		Restarts:  int(m.metrics.Restarts - before.Restarts),
+	})
+}
+
+// deadTick handles a tick with zero alive processors: the adversary is
+// consulted (it sees no intents) and must restart someone; under VetoSpare
+// the machine force-restarts the lowest-PID dead processor if it does not.
+func (m *Machine) deadTick() (bool, error) {
+	before := m.metrics
+	m.view = View{
+		Tick:    m.tick,
+		N:       m.cfg.N,
+		P:       m.cfg.P,
+		Mem:     m.mem,
+		States:  m.states,
+		Intents: m.intents,
+	}
+	dec := m.adv.Decide(&m.view)
+	restarted := false
+	for _, pid := range dec.Restarts {
+		if pid >= 0 && pid < m.cfg.P && m.states[pid] == Dead {
+			restarted = true
+		}
+	}
+	if !restarted {
+		if m.cfg.Legality == ErrorOnIllegal {
+			return false, fmt.Errorf("%w: no alive processors and no restart at tick %d",
+				ErrIllegalAdversary, m.tick)
+		}
+		for pid := 0; pid < m.cfg.P; pid++ {
+			if m.states[pid] == Dead {
+				dec.Restarts = append(dec.Restarts, pid)
+				m.metrics.Vetoes++
+				break
+			}
+		}
+	}
+	m.applyRestarts(dec.Restarts)
+	m.tick++
+	m.metrics.Ticks = m.tick
+	m.emitTickStats(0, before)
+	if m.allHalted() {
+		return false, fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name())
+	}
+	return false, nil
+}
+
+func (m *Machine) applyRestarts(restarts []int) {
+	for _, pid := range restarts {
+		if pid < 0 || pid >= m.cfg.P || m.states[pid] != Dead {
+			continue
+		}
+		m.states[pid] = Alive
+		m.procs[pid] = m.alg.NewProcessor(pid, m.cfg.N, m.cfg.P)
+		m.metrics.Restarts++
+	}
+}
+
+// spareOne clears the failure of the lowest-PID targeted alive processor
+// that is actually executing this tick, so that at least one update cycle
+// completes.
+func (m *Machine) spareOne(failures map[int]FailPoint) {
+	for pid := 0; pid < m.cfg.P; pid++ {
+		if m.states[pid] == Alive && m.intents[pid] != nil && failures[pid] != NoFailure {
+			delete(failures, pid)
+			return
+		}
+	}
+}
+
+func (m *Machine) allHalted() bool {
+	for _, s := range m.states {
+		if s != Halted {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) validateCycle(ctx *Ctx) error {
+	if ctx.reads > m.metrics.MaxReads {
+		m.metrics.MaxReads = ctx.reads
+	}
+	if len(ctx.writes) > m.metrics.MaxWrites {
+		m.metrics.MaxWrites = len(ctx.writes)
+	}
+	m.metrics.Snapshots += int64(ctx.snapshots)
+	if ctx.snapshots > 0 && !m.cfg.AllowSnapshot {
+		return fmt.Errorf("%w (algorithm=%s, pid=%d)", ErrSnapshotDisallowed, m.alg.Name(), ctx.pid)
+	}
+	readBudget, writeBudget := MaxReadsPerCycle, MaxWritesPerCycle
+	if m.cfg.CycleReadBudget > 0 {
+		readBudget = m.cfg.CycleReadBudget
+	}
+	if m.cfg.CycleWriteBudget > 0 {
+		writeBudget = m.cfg.CycleWriteBudget
+	}
+	if ctx.snapshots == 0 && (ctx.reads > readBudget || len(ctx.writes) > writeBudget) {
+		return fmt.Errorf("%w (algorithm=%s, pid=%d, reads=%d, writes=%d)",
+			ErrCycleLimit, m.alg.Name(), ctx.pid, ctx.reads, len(ctx.writes))
+	}
+	return nil
+}
+
+// taggedWrite is one committed write together with its writer, used for
+// synchronous conflict resolution.
+type taggedWrite struct {
+	addr int
+	pid  int
+	val  Word
+}
+
+// commitWrites applies all pending writes of the tick under the configured
+// policy. Within a tick all writes are simultaneous, so conflict
+// resolution considers them together. Writes are gathered into a reusable
+// buffer and sorted by (addr, pid) to find conflict groups without
+// allocating per tick.
+func (m *Machine) commitWrites() error {
+	m.writeBuf = m.writeBuf[:0]
+	for _, pc := range m.pending {
+		for _, w := range pc.writes {
+			m.writeBuf = append(m.writeBuf, taggedWrite{addr: w.addr, pid: pc.pid, val: w.val})
+		}
+	}
+	if len(m.writeBuf) == 0 {
+		return nil
+	}
+	if m.cfg.Policy == EREW {
+		if err := m.checkExclusiveReads(); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(m.writeBuf, func(i, j int) bool {
+		a, b := m.writeBuf[i], m.writeBuf[j]
+		if a.addr != b.addr {
+			return a.addr < b.addr
+		}
+		return a.pid < b.pid
+	})
+
+	for i := 0; i < len(m.writeBuf); {
+		j := i + 1
+		for j < len(m.writeBuf) && m.writeBuf[j].addr == m.writeBuf[i].addr {
+			j++
+		}
+		group := m.writeBuf[i:j]
+		switch m.cfg.Policy {
+		case Common:
+			for _, w := range group[1:] {
+				if w.val != group[0].val {
+					return fmt.Errorf("%w: cell %d gets %d (pid %d) and %d (pid %d) at tick %d",
+						ErrCommonViolation, w.addr, group[0].val, group[0].pid, w.val, w.pid, m.tick)
+				}
+			}
+			m.mem.Store(group[0].addr, group[0].val)
+		case Arbitrary, Priority:
+			// Deterministic: the lowest PID in the group comes first.
+			m.mem.Store(group[0].addr, group[0].val)
+		case CREW, EREW:
+			if len(group) > 1 {
+				return fmt.Errorf("%w: concurrent write of cell %d at tick %d",
+					ErrExclusiveViolation, group[0].addr, m.tick)
+			}
+			m.mem.Store(group[0].addr, group[0].val)
+		default:
+			return fmt.Errorf("pram: invalid write policy %d", m.cfg.Policy)
+		}
+		i = j
+	}
+	return nil
+}
+
+// checkExclusiveReads verifies the EREW no-concurrent-read rule for the
+// cycles that executed at least one instruction this tick.
+func (m *Machine) checkExclusiveReads() error {
+	m.readBuf = m.readBuf[:0]
+	for _, pc := range m.pending {
+		if !pc.started {
+			continue
+		}
+		m.readBuf = append(m.readBuf, m.intents[pc.pid].Reads...)
+	}
+	sort.Ints(m.readBuf)
+	for i := 1; i < len(m.readBuf); i++ {
+		if m.readBuf[i] == m.readBuf[i-1] {
+			return fmt.Errorf("%w: concurrent read of cell %d at tick %d",
+				ErrExclusiveViolation, m.readBuf[i], m.tick)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package pram
+
+// Memory is the reliable shared memory of the machine. Failures never
+// corrupt it; word writes are atomic (the paper assumes atomic writes of
+// O(log max{N,P})-bit words, Section 2.1).
+type Memory struct {
+	cells []Word
+}
+
+// NewMemory returns a zeroed shared memory of the given size. The paper's
+// convention is that the N input cells are stored first and the rest of the
+// memory is cleared.
+func NewMemory(size int) *Memory {
+	return &Memory{cells: make([]Word, size)}
+}
+
+// Size returns the number of addressable cells.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// Load returns the value at addr.
+func (m *Memory) Load(addr int) Word { return m.cells[addr] }
+
+// Store sets the value at addr.
+func (m *Memory) Store(addr int, v Word) { m.cells[addr] = v }
+
+// CopyInto copies the whole memory into dst, growing it if needed, and
+// returns the destination slice. It backs the unit-cost snapshot
+// instruction used by the oblivious algorithm of Theorem 3.2.
+func (m *Memory) CopyInto(dst []Word) []Word {
+	if cap(dst) < len(m.cells) {
+		dst = make([]Word, len(m.cells))
+	}
+	dst = dst[:len(m.cells)]
+	copy(dst, m.cells)
+	return dst
+}
+
+// Slice returns a read-only view of a region [start, start+n). The caller
+// must not modify the returned slice; it aliases machine state.
+func (m *Memory) Slice(start, n int) []Word {
+	return m.cells[start : start+n]
+}

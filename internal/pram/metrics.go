@@ -1,0 +1,47 @@
+package pram
+
+// Metrics records the accounting of one run, in the measures of Section 2
+// of the paper.
+type Metrics struct {
+	// N and P are the input size and the initial processor count.
+	N, P int
+	// Ticks is the number of synchronous steps executed.
+	Ticks int
+	// Completed counts completed update cycles. With unit cycle cost
+	// (c = 1) this is the completed work S of Definition 2.2.
+	Completed int64
+	// Incomplete counts update cycles that began (performed at least one
+	// instruction) but were killed before completing. S' of Remark 2
+	// charges these too.
+	Incomplete int64
+	// Failures counts processor failure events.
+	Failures int64
+	// Restarts counts processor restart events.
+	Restarts int64
+	// Vetoes counts adversary decisions the machine had to override to
+	// preserve the liveness rule (at least one cycle completes per tick).
+	Vetoes int64
+	// MaxReads and MaxWrites are the largest per-cycle read and write
+	// counts observed, for validating the update-cycle discipline.
+	MaxReads, MaxWrites int
+	// Snapshots counts unit-cost full-memory reads (Theorem 3.2 model).
+	Snapshots int64
+}
+
+// S returns the completed work of Definition 2.2 (unit cycle cost).
+func (m Metrics) S() int64 { return m.Completed }
+
+// SPrime returns the work under the charge-everything accounting S' of
+// Remark 2, which also bills cycles the adversary killed in progress.
+// S' <= S + |F| always holds (each killed cycle needs a failure event).
+func (m Metrics) SPrime() int64 { return m.Completed + m.Incomplete }
+
+// FSize returns |F|, the size of the failure pattern: the number of
+// failure and restart triples (Definition 2.1).
+func (m Metrics) FSize() int64 { return m.Failures + m.Restarts }
+
+// Overhead returns the overhead ratio sigma = S / (|I| + |F|) of
+// Definition 2.3(ii) for this run.
+func (m Metrics) Overhead() float64 {
+	return float64(m.S()) / float64(int64(m.N)+m.FSize())
+}

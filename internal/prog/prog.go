@@ -1,0 +1,383 @@
+// Package prog provides synchronous PRAM programs for the robust executor
+// of package core: the workloads the paper's simulation result (Theorem
+// 4.1) is exercised on. Each program is deterministic, exclusive-write
+// within a step, and ships a Check function so tests and experiments can
+// validate robust executions against the failure-free semantics.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/pram"
+)
+
+// Checker is implemented by programs that can validate their own output.
+type Checker interface {
+	// Check inspects the final simulated memory and returns an error
+	// describing the first mismatch, if any.
+	Check(mem []pram.Word) error
+}
+
+// Assign is the one-step program in which simulated processor i writes
+// i+1 into cell i - the PRAM step Write-All distills (with P = N it is
+// solved by "a trivial and optimal parallel assignment").
+type Assign struct {
+	N int
+}
+
+// Name implements core.Program.
+func (a Assign) Name() string { return fmt.Sprintf("assign(N=%d)", a.N) }
+
+// Processors implements core.Program.
+func (a Assign) Processors() int { return a.N }
+
+// MemSize implements core.Program.
+func (a Assign) MemSize() int { return a.N }
+
+// Init implements core.Program.
+func (a Assign) Init(store func(addr int, v pram.Word)) {}
+
+// Steps implements core.Program.
+func (a Assign) Steps() int { return 1 }
+
+// StepReads implements core.Program.
+func (a Assign) StepReads() int { return 0 }
+
+// Step implements core.Program.
+func (a Assign) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	write(i, pram.Word(i+1))
+}
+
+// Check implements Checker.
+func (a Assign) Check(mem []pram.Word) error {
+	for i := 0; i < a.N; i++ {
+		if mem[i] != pram.Word(i+1) {
+			return fmt.Errorf("assign: cell %d = %d, want %d", i, mem[i], i+1)
+		}
+	}
+	return nil
+}
+
+// ReduceSum computes the sum of cells [0, N) into cell 0 by a binary tree
+// reduction in log2(N) steps (N must be a power of two). Simulated
+// processor i is active in step t when i is a multiple of 2^(t+1).
+type ReduceSum struct {
+	N     int
+	Input []pram.Word // optional; defaults to 1, 2, ..., N
+}
+
+// Name implements core.Program.
+func (r ReduceSum) Name() string { return fmt.Sprintf("reduce-sum(N=%d)", r.N) }
+
+// Processors implements core.Program.
+func (r ReduceSum) Processors() int { return r.N }
+
+// MemSize implements core.Program.
+func (r ReduceSum) MemSize() int { return r.N }
+
+// Init implements core.Program.
+func (r ReduceSum) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < r.N; i++ {
+		store(i, r.in(i))
+	}
+}
+
+func (r ReduceSum) in(i int) pram.Word {
+	if r.Input != nil {
+		return r.Input[i]
+	}
+	return pram.Word(i + 1)
+}
+
+// Steps implements core.Program.
+func (r ReduceSum) Steps() int { return log2ceil(r.N) }
+
+// StepReads implements core.Program.
+func (r ReduceSum) StepReads() int { return 2 }
+
+// Step implements core.Program.
+func (r ReduceSum) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	stride := 1 << uint(t)
+	if i%(2*stride) != 0 || i+stride >= r.N {
+		return
+	}
+	write(i, read(i)+read(i+stride))
+}
+
+// Check implements Checker.
+func (r ReduceSum) Check(mem []pram.Word) error {
+	var want pram.Word
+	for i := 0; i < r.N; i++ {
+		want += r.in(i)
+	}
+	if mem[0] != want {
+		return fmt.Errorf("reduce-sum: cell 0 = %d, want %d", mem[0], want)
+	}
+	return nil
+}
+
+// PrefixSum computes in-place inclusive prefix sums over cells [0, N) in
+// log2(N) steps by recursive doubling: step t does x[i] += x[i-2^t] for
+// i >= 2^t. The synchronous two-phase execution makes the in-place update
+// correct (all reads observe the pre-step memory).
+type PrefixSum struct {
+	N     int
+	Input []pram.Word // optional; defaults to all ones
+}
+
+// Name implements core.Program.
+func (p PrefixSum) Name() string { return fmt.Sprintf("prefix-sum(N=%d)", p.N) }
+
+// Processors implements core.Program.
+func (p PrefixSum) Processors() int { return p.N }
+
+// MemSize implements core.Program.
+func (p PrefixSum) MemSize() int { return p.N }
+
+// Init implements core.Program.
+func (p PrefixSum) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < p.N; i++ {
+		store(i, p.in(i))
+	}
+}
+
+func (p PrefixSum) in(i int) pram.Word {
+	if p.Input != nil {
+		return p.Input[i]
+	}
+	return 1
+}
+
+// Steps implements core.Program.
+func (p PrefixSum) Steps() int { return log2ceil(p.N) }
+
+// StepReads implements core.Program.
+func (p PrefixSum) StepReads() int { return 2 }
+
+// Step implements core.Program.
+func (p PrefixSum) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	stride := 1 << uint(t)
+	if i < stride {
+		return
+	}
+	write(i, read(i)+read(i-stride))
+}
+
+// Check implements Checker.
+func (p PrefixSum) Check(mem []pram.Word) error {
+	var sum pram.Word
+	for i := 0; i < p.N; i++ {
+		sum += p.in(i)
+		if mem[i] != sum {
+			return fmt.Errorf("prefix-sum: cell %d = %d, want %d", i, mem[i], sum)
+		}
+	}
+	return nil
+}
+
+// ListRank ranks a linked list by pointer jumping: cells [0, N) hold
+// next pointers (next[i] == i marks the tail) and cells [N, 2N) hold
+// ranks. Each of the log2(N) rounds takes two simulated steps (rank
+// update, then pointer jump) because a PRAM step writes one cell.
+type ListRank struct {
+	N    int
+	Next []int // optional initial list; defaults to i -> i+1
+}
+
+// Name implements core.Program.
+func (l ListRank) Name() string { return fmt.Sprintf("list-rank(N=%d)", l.N) }
+
+// Processors implements core.Program.
+func (l ListRank) Processors() int { return l.N }
+
+// MemSize implements core.Program.
+func (l ListRank) MemSize() int { return 2 * l.N }
+
+// Init implements core.Program.
+func (l ListRank) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < l.N; i++ {
+		store(i, pram.Word(l.next(i)))
+		if l.next(i) != i {
+			store(l.N+i, 1)
+		}
+	}
+}
+
+func (l ListRank) next(i int) int {
+	if l.Next != nil {
+		return l.Next[i]
+	}
+	if i+1 < l.N {
+		return i + 1
+	}
+	return i
+}
+
+// Steps implements core.Program.
+func (l ListRank) Steps() int { return 2 * log2ceil(l.N) }
+
+// StepReads implements core.Program.
+func (l ListRank) StepReads() int { return 3 }
+
+// Step implements core.Program.
+func (l ListRank) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	nxt := int(read(i))
+	if nxt == i {
+		return
+	}
+	if t%2 == 0 {
+		write(l.N+i, read(l.N+i)+read(l.N+nxt))
+	} else {
+		write(i, read(nxt))
+	}
+}
+
+// Check implements Checker: rank[i] must be the distance from i to the
+// tail of the original list.
+func (l ListRank) Check(mem []pram.Word) error {
+	for i := 0; i < l.N; i++ {
+		want := 0
+		for j := i; l.next(j) != j; j = l.next(j) {
+			want++
+		}
+		if mem[l.N+i] != pram.Word(want) {
+			return fmt.Errorf("list-rank: rank[%d] = %d, want %d", i, mem[l.N+i], want)
+		}
+	}
+	return nil
+}
+
+// OddEvenSort sorts cells [0, N) with odd-even transposition in N rounds;
+// each simulated processor owns one cell and writes the min or max of its
+// neighborhood (exclusive-write: every processor writes only its own
+// cell).
+type OddEvenSort struct {
+	N     int
+	Input []pram.Word // required
+}
+
+// Name implements core.Program.
+func (s OddEvenSort) Name() string { return fmt.Sprintf("odd-even-sort(N=%d)", s.N) }
+
+// Processors implements core.Program.
+func (s OddEvenSort) Processors() int { return s.N }
+
+// MemSize implements core.Program.
+func (s OddEvenSort) MemSize() int { return s.N }
+
+// Init implements core.Program.
+func (s OddEvenSort) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < s.N; i++ {
+		store(i, s.Input[i])
+	}
+}
+
+// Steps implements core.Program.
+func (s OddEvenSort) Steps() int { return s.N }
+
+// StepReads implements core.Program.
+func (s OddEvenSort) StepReads() int { return 2 }
+
+// Step implements core.Program.
+func (s OddEvenSort) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	partner := i ^ 1
+	if t%2 == 1 {
+		// Odd phase pairs (1,2), (3,4), ...
+		if i%2 == 1 {
+			partner = i + 1
+		} else {
+			partner = i - 1
+		}
+	}
+	if partner < 0 || partner >= s.N {
+		return
+	}
+	mine, theirs := read(i), read(partner)
+	if i < partner {
+		if theirs < mine {
+			write(i, theirs)
+		}
+	} else {
+		if theirs > mine {
+			write(i, theirs)
+		}
+	}
+}
+
+// Check implements Checker.
+func (s OddEvenSort) Check(mem []pram.Word) error {
+	for i := 1; i < s.N; i++ {
+		if mem[i-1] > mem[i] {
+			return fmt.Errorf("odd-even-sort: cells %d,%d out of order: %d > %d",
+				i-1, i, mem[i-1], mem[i])
+		}
+	}
+	return nil
+}
+
+// MatMul multiplies two KxK matrices with N = K*K simulated processors in
+// K steps: step t adds A[i][t]*B[t][j] into C[i][j]. Memory layout: A at
+// [0, K^2), B at [K^2, 2K^2), C at [2K^2, 3K^2).
+type MatMul struct {
+	K    int
+	A, B []pram.Word // row-major KxK; required
+}
+
+// Name implements core.Program.
+func (m MatMul) Name() string { return fmt.Sprintf("matmul(K=%d)", m.K) }
+
+// Processors implements core.Program.
+func (m MatMul) Processors() int { return m.K * m.K }
+
+// MemSize implements core.Program.
+func (m MatMul) MemSize() int { return 3 * m.K * m.K }
+
+// Init implements core.Program.
+func (m MatMul) Init(store func(addr int, v pram.Word)) {
+	k2 := m.K * m.K
+	for i := 0; i < k2; i++ {
+		store(i, m.A[i])
+		store(k2+i, m.B[i])
+	}
+}
+
+// Steps implements core.Program.
+func (m MatMul) Steps() int { return m.K }
+
+// StepReads implements core.Program.
+func (m MatMul) StepReads() int { return 3 }
+
+// Step implements core.Program.
+func (m MatMul) Step(t, p int, read func(int) pram.Word, write func(int, pram.Word)) {
+	k2 := m.K * m.K
+	i, j := p/m.K, p%m.K
+	a := read(i*m.K + t)
+	b := read(k2 + t*m.K + j)
+	c := read(2*k2 + p)
+	write(2*k2+p, c+a*b)
+}
+
+// Check implements Checker.
+func (m MatMul) Check(mem []pram.Word) error {
+	k2 := m.K * m.K
+	for i := 0; i < m.K; i++ {
+		for j := 0; j < m.K; j++ {
+			var want pram.Word
+			for t := 0; t < m.K; t++ {
+				want += m.A[i*m.K+t] * m.B[t*m.K+j]
+			}
+			if got := mem[2*k2+i*m.K+j]; got != want {
+				return fmt.Errorf("matmul: C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}

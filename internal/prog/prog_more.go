@@ -1,0 +1,184 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/pram"
+)
+
+// Broadcast propagates the value in cell 0 to all N cells by recursive
+// doubling in log2(N) steps: in step t, processor i with 2^t <= i < 2^(t+1)
+// copies from cell i - 2^t.
+type Broadcast struct {
+	N     int
+	Value pram.Word // value planted in cell 0; zero means 7 (so progress is visible)
+}
+
+// Name implements core.Program.
+func (b Broadcast) Name() string { return fmt.Sprintf("broadcast(N=%d)", b.N) }
+
+// Processors implements core.Program.
+func (b Broadcast) Processors() int { return b.N }
+
+// MemSize implements core.Program.
+func (b Broadcast) MemSize() int { return b.N }
+
+// Init implements core.Program.
+func (b Broadcast) Init(store func(addr int, v pram.Word)) { store(0, b.value()) }
+
+func (b Broadcast) value() pram.Word {
+	if b.Value != 0 {
+		return b.Value
+	}
+	return 7
+}
+
+// Steps implements core.Program.
+func (b Broadcast) Steps() int { return log2ceil(b.N) }
+
+// StepReads implements core.Program.
+func (b Broadcast) StepReads() int { return 1 }
+
+// Step implements core.Program.
+func (b Broadcast) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	stride := 1 << uint(t)
+	if i < stride || i >= 2*stride {
+		return
+	}
+	write(i, read(i-stride))
+}
+
+// Check implements Checker.
+func (b Broadcast) Check(mem []pram.Word) error {
+	for i := 0; i < b.N; i++ {
+		if mem[i] != b.value() {
+			return fmt.Errorf("broadcast: cell %d = %d, want %d", i, mem[i], b.value())
+		}
+	}
+	return nil
+}
+
+// MaxReduce computes the maximum of N values (and the index where it
+// occurs) by a binary tree reduction. Value and index are packed into one
+// word - (value << 32) | index - so that each simulated step performs a
+// single write, as the PRAM model requires. Values must fit in 31 bits.
+type MaxReduce struct {
+	N     int
+	Input []pram.Word // required; non-negative, < 2^31
+}
+
+// Name implements core.Program.
+func (m MaxReduce) Name() string { return fmt.Sprintf("max-reduce(N=%d)", m.N) }
+
+// Processors implements core.Program.
+func (m MaxReduce) Processors() int { return m.N }
+
+// MemSize implements core.Program.
+func (m MaxReduce) MemSize() int { return m.N }
+
+// Init implements core.Program.
+func (m MaxReduce) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < m.N; i++ {
+		store(i, m.Input[i]<<32|pram.Word(i))
+	}
+}
+
+// Steps implements core.Program.
+func (m MaxReduce) Steps() int { return log2ceil(m.N) }
+
+// StepReads implements core.Program.
+func (m MaxReduce) StepReads() int { return 2 }
+
+// Step implements core.Program.
+func (m MaxReduce) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	stride := 1 << uint(t)
+	if i%(2*stride) != 0 || i+stride >= m.N {
+		return
+	}
+	mine, theirs := read(i), read(i+stride)
+	if theirs>>32 > mine>>32 {
+		write(i, theirs)
+	}
+}
+
+// Check implements Checker.
+func (m MaxReduce) Check(mem []pram.Word) error {
+	wantVal, wantIdx := m.Input[0], 0
+	for i, v := range m.Input {
+		if v > wantVal {
+			wantVal, wantIdx = v, i
+		}
+	}
+	gotVal, gotIdx := mem[0]>>32, int(mem[0]&0xFFFFFFFF)
+	if gotVal != wantVal {
+		return fmt.Errorf("max-reduce: value = %d, want %d", gotVal, wantVal)
+	}
+	if m.Input[gotIdx] != wantVal {
+		return fmt.Errorf("max-reduce: index %d does not hold the maximum", gotIdx)
+	}
+	_ = wantIdx // several indices may hold the maximum; any is acceptable
+	return nil
+}
+
+// TreeRoots finds the root of every node in a forest of rooted trees
+// (parent pointers; roots point at themselves) by pointer jumping:
+// parent[i] = parent[parent[i]], log2(N) + 1 times.
+type TreeRoots struct {
+	N      int
+	Parent []int // optional; defaults to a single path 0 <- 1 <- ... <- N-1
+}
+
+// Name implements core.Program.
+func (r TreeRoots) Name() string { return fmt.Sprintf("tree-roots(N=%d)", r.N) }
+
+// Processors implements core.Program.
+func (r TreeRoots) Processors() int { return r.N }
+
+// MemSize implements core.Program.
+func (r TreeRoots) MemSize() int { return r.N }
+
+// Init implements core.Program.
+func (r TreeRoots) Init(store func(addr int, v pram.Word)) {
+	for i := 0; i < r.N; i++ {
+		store(i, pram.Word(r.parent(i)))
+	}
+}
+
+func (r TreeRoots) parent(i int) int {
+	if r.Parent != nil {
+		return r.Parent[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Steps implements core.Program.
+func (r TreeRoots) Steps() int { return log2ceil(r.N) + 1 }
+
+// StepReads implements core.Program.
+func (r TreeRoots) StepReads() int { return 2 }
+
+// Step implements core.Program.
+func (r TreeRoots) Step(t, i int, read func(int) pram.Word, write func(int, pram.Word)) {
+	p := read(i)
+	gp := read(int(p))
+	if gp != p {
+		write(i, gp)
+	}
+}
+
+// Check implements Checker.
+func (r TreeRoots) Check(mem []pram.Word) error {
+	for i := 0; i < r.N; i++ {
+		want := i
+		for r.parent(want) != want {
+			want = r.parent(want)
+		}
+		if mem[i] != pram.Word(want) {
+			return fmt.Errorf("tree-roots: root[%d] = %d, want %d", i, mem[i], want)
+		}
+	}
+	return nil
+}

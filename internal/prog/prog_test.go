@@ -1,0 +1,203 @@
+package prog_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/pram"
+	"repro/internal/prog"
+)
+
+type checked interface {
+	core.Program
+	prog.Checker
+}
+
+// referenceRun executes a program with plain synchronous PRAM semantics -
+// a completely independent implementation of the model (no executor, no
+// failures): all Step calls of one step read the pre-step memory and the
+// writes apply afterwards.
+func referenceRun(t *testing.T, p core.Program) []pram.Word {
+	t.Helper()
+	mem := make([]pram.Word, p.MemSize())
+	p.Init(func(addr int, v pram.Word) { mem[addr] = v })
+	type write struct {
+		addr int
+		val  pram.Word
+	}
+	for step := 0; step < p.Steps(); step++ {
+		var writes []write
+		for i := 0; i < p.Processors(); i++ {
+			reads := 0
+			p.Step(step, i,
+				func(a int) pram.Word { reads++; return mem[a] },
+				func(a int, v pram.Word) { writes = append(writes, write{addr: a, val: v}) },
+			)
+			if reads > p.StepReads() {
+				t.Fatalf("%s: step %d proc %d performed %d reads, declared max %d",
+					p.Name(), step, i, reads, p.StepReads())
+			}
+		}
+		seen := make(map[int]pram.Word, len(writes))
+		for _, w := range writes {
+			if prev, ok := seen[w.addr]; ok && prev != w.val {
+				t.Fatalf("%s: step %d has conflicting writes to cell %d (%d vs %d); programs must be COMMON/exclusive-write",
+					p.Name(), step, w.addr, prev, w.val)
+			}
+			seen[w.addr] = w.val
+		}
+		for _, w := range writes {
+			mem[w.addr] = w.val
+		}
+	}
+	return mem
+}
+
+func testPrograms() []checked {
+	rng := rand.New(rand.NewSource(4))
+	sortInput := make([]pram.Word, 32)
+	for i := range sortInput {
+		sortInput[i] = pram.Word(rng.Intn(100))
+	}
+	list := rand.New(rand.NewSource(9)).Perm(16)
+	// Build a valid linked list from a permutation: list[i] -> list[i+1].
+	next := make([]int, 16)
+	for i := 0; i+1 < len(list); i++ {
+		next[list[i]] = list[i+1]
+	}
+	next[list[len(list)-1]] = list[len(list)-1] // tail self-loop
+	return []checked{
+		prog.Assign{N: 1},
+		prog.Assign{N: 37},
+		prog.ReduceSum{N: 64},
+		prog.ReduceSum{N: 8, Input: []pram.Word{7, -2, 0, 5, 5, 5, 1, 1}},
+		prog.PrefixSum{N: 64},
+		prog.PrefixSum{N: 16, Input: []pram.Word{1, -1, 2, -2, 3, -3, 4, -4, 0, 0, 10, 20, 30, 40, 50, 60}},
+		prog.ListRank{N: 16},
+		prog.ListRank{N: 16, Next: next},
+		prog.OddEvenSort{N: 32, Input: sortInput},
+		prog.MatMul{K: 4,
+			A: []pram.Word{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+			B: []pram.Word{2, 0, 1, 3, 1, 1, 4, 2, 0, 5, 2, 2, 3, 3, 1, 0}},
+		prog.Broadcast{N: 48, Value: 3},
+		prog.MaxReduce{N: 16, Input: []pram.Word{3, 9, 1, 9, 0, 4, 7, 2, 8, 8, 5, 6, 9, 1, 0, 2}},
+		prog.TreeRoots{N: 24},
+		prog.TreeRoots{N: 8, Parent: []int{0, 0, 1, 1, 4, 4, 5, 5}},
+	}
+}
+
+func TestProgramsAgainstReferenceSemantics(t *testing.T) {
+	for _, p := range testPrograms() {
+		t.Run(p.Name(), func(t *testing.T) {
+			mem := referenceRun(t, p)
+			if err := p.Check(mem); err != nil {
+				t.Errorf("reference run fails its own check: %v", err)
+			}
+		})
+	}
+}
+
+func TestProgramStepWritesAtMostOnce(t *testing.T) {
+	for _, p := range testPrograms() {
+		t.Run(p.Name(), func(t *testing.T) {
+			mem := make([]pram.Word, p.MemSize())
+			p.Init(func(addr int, v pram.Word) { mem[addr] = v })
+			for step := 0; step < p.Steps(); step++ {
+				for i := 0; i < p.Processors(); i++ {
+					writes := 0
+					p.Step(step, i,
+						func(a int) pram.Word { return mem[a] },
+						func(a int, v pram.Word) { writes++ },
+					)
+					if writes > 1 {
+						t.Fatalf("step %d proc %d wrote %d cells; a PRAM step writes at most one",
+							step, i, writes)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPrefixSumPropertyRandomInputs(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		input := make([]pram.Word, len(raw))
+		for i, v := range raw {
+			input[i] = pram.Word(v)
+		}
+		p := prog.PrefixSum{N: len(input), Input: input}
+		mem := referenceRun(t, p)
+		return p.Check(mem) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddEvenSortPropertyRandomInputs(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		input := make([]pram.Word, len(raw))
+		for i, v := range raw {
+			input[i] = pram.Word(v)
+		}
+		p := prog.OddEvenSort{N: len(input), Input: input}
+		mem := referenceRun(t, p)
+		return p.Check(mem) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceSumHandlesNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{3, 5, 12, 33} {
+		p := prog.ReduceSum{N: n}
+		mem := referenceRun(t, p)
+		if err := p.Check(mem); err != nil {
+			t.Errorf("N=%d: %v", n, err)
+		}
+	}
+}
+
+func TestProgramsDeclareAccurateMetadata(t *testing.T) {
+	for _, p := range testPrograms() {
+		t.Run(p.Name(), func(t *testing.T) {
+			if p.Processors() < 1 {
+				t.Error("Processors() < 1")
+			}
+			if p.MemSize() < p.Processors() {
+				t.Errorf("MemSize() = %d < Processors() = %d looks wrong for these programs",
+					p.MemSize(), p.Processors())
+			}
+			if p.Steps() < 1 {
+				t.Error("Steps() < 1")
+			}
+		})
+	}
+}
+
+func ExampleAssign() {
+	p := prog.Assign{N: 4}
+	mem := make([]pram.Word, p.MemSize())
+	for i := 0; i < p.Processors(); i++ {
+		p.Step(0, i, func(a int) pram.Word { return mem[a] },
+			func(a int, v pram.Word) { mem[a] = v })
+	}
+	fmt.Println(mem)
+	// Output: [1 2 3 4]
+}

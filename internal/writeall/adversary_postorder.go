@@ -1,0 +1,67 @@
+package writeall
+
+import "repro/internal/pram"
+
+// PostOrder is the Theorem 4.8 adversary against algorithm X with P = N.
+// Processor 0 (whose PID bits always steer left) is allowed to traverse
+// the progress tree in post order, visiting the leaves left to right.
+// Every other processor is failed the moment it reaches an unvisited leaf
+// other than processor 0's; processors parked at processor 0's current
+// leaf are restarted (so they complete the leaf together and scatter
+// again), and processors with PIDs smaller than the index of the last leaf
+// processor 0 visited are re-released once their parking leaf is done.
+// The repeated scatter-and-park traffic is all charged completed work, and
+// the paper shows a pattern of this shape forces S = Omega(N^{log 3}).
+type PostOrder struct {
+	lay      TreeLayout
+	lastLeaf int // largest array element index processor 0 has reached
+}
+
+// NewPostOrder returns the Theorem 4.8 adversary for an algorithm using
+// the given tree layout (use X.Layout(n, p)).
+func NewPostOrder(lay TreeLayout) *PostOrder {
+	return &PostOrder{lay: lay, lastLeaf: -1}
+}
+
+// Name implements pram.Adversary.
+func (a *PostOrder) Name() string { return "postorder" }
+
+// Decide implements pram.Adversary.
+func (a *PostOrder) Decide(v *pram.View) pram.Decision {
+	l := a.lay
+	pos0 := int(v.Mem.Load(l.W(0)))
+	if pos0 != 0 && l.IsLeaf(pos0) {
+		if e := l.Element(pos0); e > a.lastLeaf {
+			a.lastLeaf = e
+		}
+	}
+
+	var dec pram.Decision
+	for pid, st := range v.States {
+		if pid == 0 {
+			continue
+		}
+		pos := int(v.Mem.Load(l.W(pid)))
+		switch st {
+		case pram.Alive:
+			// Park: fail a processor arriving at an unvisited leaf
+			// that processor 0 is not working on.
+			if pos != 0 && pos != pos0 && l.IsLeaf(pos) && v.Mem.Load(l.D(pos)) == 0 {
+				if dec.Failures == nil {
+					dec.Failures = make(map[int]pram.FailPoint)
+				}
+				dec.Failures[pid] = pram.FailBeforeReads
+			}
+		case pram.Dead:
+			// Restart processors parked at processor 0's leaf, and
+			// re-release small-PID processors whose parking spot has
+			// been finished.
+			if pos == pos0 || (pid < a.lastLeaf && (pos == 0 || v.Mem.Load(l.D(pos)) != 0)) {
+				dec.Restarts = append(dec.Restarts, pid)
+			}
+		}
+	}
+	return dec
+}
+
+var _ pram.Adversary = (*PostOrder)(nil)

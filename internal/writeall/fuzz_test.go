@@ -1,0 +1,94 @@
+package writeall_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+// FuzzWriteAllUnderRandomPatterns fuzzes sizes, processor counts, rates
+// and seeds against the deterministic algorithms, checking termination and
+// the Write-All postcondition. (`go test` runs the seed corpus; `go test
+// -fuzz FuzzWriteAll` explores.) Randomized ACC is deliberately excluded:
+// with private positions it has no worst-case termination guarantee under
+// extreme failure rates - the very weakness Section 5 studies - so a
+// termination assertion would be wrong for it.
+func FuzzWriteAllUnderRandomPatterns(f *testing.F) {
+	f.Add(uint8(8), uint8(8), int64(1), uint8(30), uint8(60), uint8(0))
+	f.Add(uint8(100), uint8(13), int64(42), uint8(10), uint8(90), uint8(1))
+	f.Add(uint8(64), uint8(1), int64(7), uint8(50), uint8(50), uint8(2))
+	f.Add(uint8(33), uint8(32), int64(-3), uint8(90), uint8(99), uint8(3))
+
+	f.Fuzz(func(t *testing.T, rawN, rawP uint8, seed int64, failPct, restartPct, algPick uint8) {
+		n := int(rawN)%200 + 1
+		p := int(rawP)%n + 1
+		adv := adversary.NewRandom(float64(failPct%100)/100, float64(restartPct%100)/100, seed)
+		adv.Points = []pram.FailPoint{
+			pram.FailBeforeReads, pram.FailAfterReads, pram.FailAfterWrite1,
+		}
+		var alg pram.Algorithm
+		switch algPick % 3 {
+		case 0:
+			alg = writeall.NewX()
+		case 1:
+			alg = writeall.NewXInPlace()
+		default:
+			alg = writeall.NewCombined()
+		}
+		// Deterministic algorithms keep their positions in shared memory,
+		// so the liveness rule's one-completed-cycle-per-tick yields
+		// monotone progress and a tick bound well under this cap.
+		m, err := pram.New(pram.Config{N: n, P: p, MaxTicks: 1 << 22}, alg, adv)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		got, err := m.Run()
+		if err != nil {
+			t.Fatalf("Run(%s, N=%d, P=%d, seed=%d): %v", alg.Name(), n, p, seed, err)
+		}
+		if !writeall.Verify(m.Memory(), n) {
+			t.Fatalf("postcondition violated (%s, N=%d, P=%d, seed=%d)", alg.Name(), n, p, seed)
+		}
+		if got.SPrime() > got.S()+got.FSize() {
+			t.Fatalf("Remark 2 violated: S'=%d > S=%d + |F|=%d", got.SPrime(), got.S(), got.FSize())
+		}
+	})
+}
+
+// FuzzScheduledPatterns fuzzes raw byte strings decoded as scheduled
+// failure patterns against algorithm X.
+func FuzzScheduledPatterns(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 2, 1, 1, 3, 0, 0})
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n, p = 32, 8
+		var pattern []adversary.Event
+		for i := 0; i+2 < len(raw); i += 3 {
+			e := adversary.Event{
+				Tick: int(raw[i]) % 64,
+				PID:  int(raw[i+1]) % p,
+			}
+			if raw[i+2]%2 == 0 {
+				e.Kind = adversary.Fail
+				e.Point = pram.FailPoint(int(raw[i+2]/2)%3 + 1)
+			} else {
+				e.Kind = adversary.Restart
+			}
+			pattern = append(pattern, e)
+		}
+		m, err := pram.New(pram.Config{N: n, P: p}, writeall.NewX(), adversary.NewScheduled(pattern))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !writeall.Verify(m.Memory(), n) {
+			t.Fatal("postcondition violated")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package writeall_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+// TestProgressMonotonicityInvariant steps machines tick by tick and checks
+// that Write-All progress never regresses: array cells only go 0 -> 1, and
+// the work counter S never decreases. Failures and restarts must never be
+// able to un-write a cell (shared memory is reliable).
+func TestProgressMonotonicityInvariant(t *testing.T) {
+	algs := []func() pram.Algorithm{
+		func() pram.Algorithm { return writeall.NewX() },
+		func() pram.Algorithm { return writeall.NewXInPlace() },
+		func() pram.Algorithm { return writeall.NewV() },
+		func() pram.Algorithm { return writeall.NewCombined() },
+		func() pram.Algorithm { return writeall.NewW() },
+		func() pram.Algorithm { return writeall.NewACC(6) },
+		func() pram.Algorithm { return writeall.NewReplicated() },
+	}
+	const n, p = 48, 12
+	for _, mk := range algs {
+		alg := mk()
+		t.Run(alg.Name(), func(t *testing.T) {
+			adv := adversary.NewRandom(0.25, 0.6, 31)
+			adv.Points = []pram.FailPoint{
+				pram.FailBeforeReads, pram.FailAfterReads, pram.FailAfterWrite1,
+			}
+			m, err := pram.New(pram.Config{N: n, P: p}, alg, adv)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			set := make([]bool, n)
+			var lastS int64
+			for {
+				done, err := m.Step()
+				if err != nil {
+					t.Fatalf("Step: %v", err)
+				}
+				for i := 0; i < n; i++ {
+					v := m.Memory().Load(i) != 0
+					if set[i] && !v {
+						t.Fatalf("cell %d regressed from set to unset at tick %d", i, m.Tick())
+					}
+					set[i] = v
+				}
+				if s := m.Metrics().S(); s < lastS {
+					t.Fatalf("S regressed: %d after %d", s, lastS)
+				} else {
+					lastS = s
+				}
+				if done {
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestSoakLargeGrid is a longer randomized soak across a size/processor
+// grid for the production algorithms; skipped with -short.
+func TestSoakLargeGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, n := range []int{512, 1024} {
+		for _, p := range []int{1, 7, n / 4, n} {
+			for seed := int64(0); seed < 3; seed++ {
+				adv := adversary.NewRandom(0.15, 0.5, seed)
+				adv.Points = []pram.FailPoint{
+					pram.FailBeforeReads, pram.FailAfterReads, pram.FailAfterWrite1,
+				}
+				t.Run(fmt.Sprintf("N=%d,P=%d,seed=%d", n, p, seed), func(t *testing.T) {
+					run(t, pram.Config{N: n, P: p}, writeall.NewCombined(), adv)
+				})
+			}
+		}
+	}
+}
+
+// TestReplicatedBaselineShape: quadratic failure-free work with P = N, yet
+// it finishes even under a near-total kill schedule.
+func TestReplicatedBaselineShape(t *testing.T) {
+	const n = 64
+	got := run(t, pram.Config{N: n, P: n}, writeall.NewReplicated(), adversary.None{})
+	// Every processor sweeps until everything it sees is set: with all
+	// starting offsets distinct, the first tick writes everything, but
+	// every processor still pays its own verification sweep if it stays
+	// alive. Failure-free, Done stops the run after one tick: S = N.
+	if got.S() > 2*n {
+		t.Errorf("failure-free S = %d, want about N = %d (distinct offsets)", got.S(), n)
+	}
+
+	// Under a bounded failure pattern it still finishes, paying for the
+	// restarted sweeps.
+	adv := adversary.NewRandom(0.3, 0.9, 3)
+	adv.MaxEvents = 64
+	churned := run(t, pram.Config{N: n, P: n}, writeall.NewReplicated(), adv)
+	if churned.S() <= got.S() {
+		t.Errorf("churned S = %d <= failure-free %d; restarts must cost re-sweeps",
+			churned.S(), got.S())
+	}
+}
+
+// TestReplicatedNeverFinishesUnderSustainedChurn documents why private
+// sweep positions are fatal in the restart model: if no processor ever
+// survives a full sweep, cells far from every starting offset are never
+// written. V and X avoid this exact trap by keeping progress in reliable
+// shared memory.
+func TestReplicatedNeverFinishesUnderSustainedChurn(t *testing.T) {
+	const n = 64
+	adv := adversary.NewRandom(0.45, 0.95, 5)
+	m, err := pram.New(pram.Config{N: n, P: 8, MaxTicks: 50000}, writeall.NewReplicated(), adv)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(); !errors.Is(err, pram.ErrTickLimit) {
+		t.Fatalf("Run err = %v, want tick limit (sustained churn starves private sweeps)", err)
+	}
+	if writeall.Verify(m.Memory(), n) {
+		t.Error("array completed; expected starvation")
+	}
+}

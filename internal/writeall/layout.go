@@ -1,0 +1,198 @@
+package writeall
+
+// TreeLayout describes the shared-memory layout of the progress-tree
+// algorithms X and ACC: the "done" heap d[1 .. 2*TreeN-1] (Figure 5 of the
+// paper) and the "where" array w[0 .. P-1], placed after a base offset so
+// several structures can share one memory. The Write-All array x itself
+// always occupies cells [0, N).
+//
+// The heap uses 1-based indexing: node v has children 2v and 2v+1; leaves
+// are the nodes v in [TreeN, 2*TreeN). Leaf v covers array element v-TreeN.
+// Inputs whose size is not a power of two are padded: elements in
+// [N, TreeN) are represented by leaves pre-marked done at setup, exactly
+// the "conventional padding techniques" the paper invokes.
+type TreeLayout struct {
+	// N is the input size, TreeN the padded (power of two) leaf count,
+	// Levels = log2(TreeN) the leaf depth, and P the processor count.
+	N, TreeN, Levels, P int
+	// Base is the first shared cell of the heap region.
+	Base int
+}
+
+// NewTreeLayout returns the layout for input size n with p processors,
+// placing the heap at base (pass n to place it right after the array x).
+func NewTreeLayout(n, p, base int) TreeLayout {
+	treeN := NextPow2(n)
+	return TreeLayout{N: n, TreeN: treeN, Levels: Log2(treeN), P: p, Base: base}
+}
+
+// D returns the address of heap cell d[v], v in [1, 2*TreeN).
+func (l TreeLayout) D(v int) int { return l.Base + v - 1 }
+
+// W returns the address of w[pid].
+func (l TreeLayout) W(pid int) int { return l.Base + 2*l.TreeN - 1 + pid }
+
+// Size returns the number of cells the layout occupies past Base.
+func (l TreeLayout) Size() int { return 2*l.TreeN - 1 + l.P }
+
+// Leaf returns the heap node of array element i.
+func (l TreeLayout) Leaf(i int) int { return l.TreeN + i }
+
+// IsLeaf reports whether heap node v is a leaf.
+func (l TreeLayout) IsLeaf(v int) bool { return v >= l.TreeN }
+
+// Element returns the array element index of leaf v (possibly >= N for
+// padding leaves).
+func (l TreeLayout) Element(v int) int { return v - l.TreeN }
+
+// Depth returns the depth of node v (root 1 has depth 0; leaves have
+// depth Levels).
+func (l TreeLayout) Depth(v int) int {
+	d := -1
+	for v > 0 {
+		v >>= 1
+		d++
+	}
+	return d
+}
+
+// PIDBit returns the paper's "PID[log(where)]" descent bit: bit `depth` of
+// the Levels-bit binary representation of pid, where the most significant
+// bit is bit 0. At a node of depth h whose subtrees are both unfinished, a
+// processor moves left when the bit is 0 and right when it is 1.
+func (l TreeLayout) PIDBit(pid, depth int) int {
+	if depth >= l.Levels {
+		return 0
+	}
+	return (pid >> uint(l.Levels-1-depth)) & 1
+}
+
+// SetupTree writes the heap's initial contents: zero everywhere except
+// that padding leaves - and interior nodes whose subtrees consist only of
+// padding - are pre-marked done.
+func (l TreeLayout) SetupTree(store func(addr int, v int64)) {
+	if l.TreeN == l.N {
+		return
+	}
+	// done[v] for padded subtrees, computed bottom-up.
+	for v := 2*l.TreeN - 1; v >= 1; v-- {
+		if l.IsLeaf(v) {
+			if l.Element(v) >= l.N {
+				store(l.D(v), 1)
+			}
+			continue
+		}
+		// An interior node is pre-done iff its left child's subtree
+		// starts at or past N; since padding occupies a suffix of the
+		// leaves, it suffices to check the leftmost leaf under v.
+		leftmost := v
+		for !l.IsLeaf(leftmost) {
+			leftmost <<= 1
+		}
+		if l.Element(leftmost) >= l.N {
+			store(l.D(v), 1)
+		}
+	}
+}
+
+// SetupTreeCounts writes the heap's initial contents for the Remark 5(ii)
+// counting representation: every node holds the number of its descendant
+// leaves that are pre-done because they are padding.
+func (l TreeLayout) SetupTreeCounts(store func(addr int, v int64)) {
+	if l.TreeN == l.N {
+		return
+	}
+	counts := make([]int64, 2*l.TreeN)
+	for i := l.N; i < l.TreeN; i++ {
+		counts[l.Leaf(i)] = 1
+	}
+	for v := l.TreeN - 1; v >= 1; v-- {
+		counts[v] = counts[2*v] + counts[2*v+1]
+	}
+	for v := 1; v < 2*l.TreeN; v++ {
+		if counts[v] != 0 {
+			store(l.D(v), counts[v])
+		}
+	}
+}
+
+// VLayout describes algorithm V's shared structures: the block progress
+// tree b[1 .. 2*Blocks-1] whose cells count fully-written leaf blocks in
+// each subtree, and the iteration wrap-around counter.
+//
+// The input is split into Blocks leaf blocks of BlockSize elements each
+// (BlockSize ~ log N per the paper's optimized data structure), with
+// Blocks rounded up to a power of two; padding blocks are pre-counted as
+// done.
+type VLayout struct {
+	// N and P are the input size and processor count.
+	N, P int
+	// BlockSize is the number of array elements per leaf block.
+	BlockSize int
+	// Blocks is the (power of two) number of leaf blocks; Lb its depth.
+	Blocks, Lb int
+	// Base is the first shared cell of V's region.
+	Base int
+}
+
+// NewVLayout returns V's layout for input size n with p processors,
+// placing its structures at base.
+func NewVLayout(n, p, base int) VLayout {
+	bs := Log2(NextPow2(n))
+	if bs < 1 {
+		bs = 1
+	}
+	blocks := NextPow2((n + bs - 1) / bs)
+	return VLayout{N: n, P: p, BlockSize: bs, Blocks: blocks, Lb: Log2(blocks), Base: base}
+}
+
+// B returns the address of progress-tree cell b[v], v in [1, 2*Blocks).
+func (l VLayout) B(v int) int { return l.Base + v - 1 }
+
+// Iter returns the address of the iteration wrap-around counter.
+func (l VLayout) Iter() int { return l.Base + 2*l.Blocks - 1 }
+
+// Size returns the number of cells the layout occupies past Base.
+func (l VLayout) Size() int { return 2*l.Blocks - 1 + 1 }
+
+// LeafNode returns the progress-tree node of block i.
+func (l VLayout) LeafNode(i int) int { return l.Blocks + i }
+
+// LeavesUnder returns the number of leaf blocks in the subtree of node v.
+func (l VLayout) LeavesUnder(v int) int {
+	depth := 0
+	for 1<<uint(depth+1) <= v {
+		depth++
+	}
+	return l.Blocks >> uint(depth)
+}
+
+// IterationLength returns T, the fixed number of update cycles in one
+// iteration of V: Lb descent cycles, BlockSize work cycles, one leaf-mark
+// cycle, and Lb ascent cycles. The wrap-around point is "fixed at compile
+// time" exactly as the paper requires.
+func (l VLayout) IterationLength() int { return 2*l.Lb + l.BlockSize + 1 }
+
+// RealBlocks returns the number of non-padding blocks.
+func (l VLayout) RealBlocks() int { return (l.N + l.BlockSize - 1) / l.BlockSize }
+
+// SetupTree writes b's initial contents: padding blocks count as done.
+func (l VLayout) SetupTree(store func(addr int, v int64)) {
+	real := l.RealBlocks()
+	if real == l.Blocks {
+		return
+	}
+	// counts[v] = number of padded ("pre-done") blocks under v.
+	counts := make([]int64, 2*l.Blocks)
+	for i := real; i < l.Blocks; i++ {
+		counts[l.LeafNode(i)] = 1
+	}
+	for v := l.Blocks - 1; v >= 1; v-- {
+		counts[v] = counts[2*v] + counts[2*v+1]
+	}
+	for v := 1; v < 2*l.Blocks; v++ {
+		if counts[v] != 0 {
+			store(l.B(v), counts[v])
+		}
+	}
+}

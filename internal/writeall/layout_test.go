@@ -1,0 +1,234 @@
+package writeall
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ give, want int }{
+		{give: 0, want: 1},
+		{give: 1, want: 1},
+		{give: 2, want: 2},
+		{give: 3, want: 4},
+		{give: 4, want: 4},
+		{give: 5, want: 8},
+		{give: 1000, want: 1024},
+		{give: 1024, want: 1024},
+	}
+	for _, tt := range tests {
+		if got := NextPow2(tt.give); got != tt.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	tests := []struct{ give, want int }{
+		{give: 1, want: 0},
+		{give: 2, want: 1},
+		{give: 8, want: 3},
+		{give: 1024, want: 10},
+	}
+	for _, tt := range tests {
+		if got := Log2(tt.give); got != tt.want {
+			t.Errorf("Log2(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestTreeLayoutAddressing(t *testing.T) {
+	l := NewTreeLayout(6, 4, 6) // N=6 pads to TreeN=8
+	if l.TreeN != 8 || l.Levels != 3 {
+		t.Fatalf("TreeN, Levels = %d, %d; want 8, 3", l.TreeN, l.Levels)
+	}
+	// The heap occupies [Base, Base+2*TreeN-1), then w[0..P).
+	if got := l.D(1); got != 6 {
+		t.Errorf("D(1) = %d, want 6", got)
+	}
+	if got := l.D(2*l.TreeN - 1); got != 6+2*8-2 {
+		t.Errorf("D(last) = %d, want %d", got, 6+2*8-2)
+	}
+	if got := l.W(0); got != l.D(2*l.TreeN-1)+1 {
+		t.Errorf("W(0) = %d, want %d", got, l.D(2*l.TreeN-1)+1)
+	}
+	if got := l.Size(); got != 2*8-1+4 {
+		t.Errorf("Size() = %d, want %d", got, 2*8-1+4)
+	}
+}
+
+func TestTreeLayoutLeafElementRoundTrip(t *testing.T) {
+	l := NewTreeLayout(16, 16, 16)
+	for i := 0; i < l.TreeN; i++ {
+		leaf := l.Leaf(i)
+		if !l.IsLeaf(leaf) {
+			t.Errorf("Leaf(%d) = %d not recognized as leaf", i, leaf)
+		}
+		if got := l.Element(leaf); got != i {
+			t.Errorf("Element(Leaf(%d)) = %d", i, got)
+		}
+		if got := l.Depth(leaf); got != l.Levels {
+			t.Errorf("Depth(leaf %d) = %d, want %d", leaf, got, l.Levels)
+		}
+	}
+	if l.IsLeaf(1) {
+		t.Error("root considered a leaf on a 16-leaf tree")
+	}
+	if got := l.Depth(1); got != 0 {
+		t.Errorf("Depth(root) = %d, want 0", got)
+	}
+}
+
+func TestPIDBitMSBFirst(t *testing.T) {
+	l := NewTreeLayout(8, 8, 8) // Levels = 3
+	// PID 5 = 101 in 3 bits: bit 0 (MSB) = 1, bit 1 = 0, bit 2 = 1.
+	wants := []int{1, 0, 1}
+	for depth, want := range wants {
+		if got := l.PIDBit(5, depth); got != want {
+			t.Errorf("PIDBit(5, %d) = %d, want %d", depth, got, want)
+		}
+	}
+	// Depths at or beyond the leaf level return 0.
+	if got := l.PIDBit(5, 3); got != 0 {
+		t.Errorf("PIDBit(5, 3) = %d, want 0", got)
+	}
+	// PID 0 always descends left - it is the post-order marcher of
+	// Theorem 4.8.
+	for depth := 0; depth < 3; depth++ {
+		if got := l.PIDBit(0, depth); got != 0 {
+			t.Errorf("PIDBit(0, %d) = %d, want 0", depth, got)
+		}
+	}
+}
+
+func TestSetupTreeMarksExactlyPaddedSubtrees(t *testing.T) {
+	l := NewTreeLayout(5, 2, 5) // TreeN = 8, padding leaves 5, 6, 7
+	marks := make(map[int]int64)
+	l.SetupTree(func(addr int, v int64) { marks[addr] = v })
+
+	wantDone := map[int]bool{
+		l.Leaf(5): true, // padded leaves
+		l.Leaf(6): true,
+		l.Leaf(7): true,
+		7:         true, // node 7 covers leaves 6,7 (both padding)
+	}
+	for v := 1; v < 2*l.TreeN; v++ {
+		_, marked := marks[l.D(v)]
+		if marked != wantDone[v] {
+			t.Errorf("node %d marked=%v, want %v", v, marked, wantDone[v])
+		}
+	}
+}
+
+func TestSetupTreeCountsMatchPadding(t *testing.T) {
+	l := NewTreeLayout(5, 2, 5) // TreeN = 8, 3 padding leaves
+	counts := make(map[int]int64)
+	l.SetupTreeCounts(func(addr int, v int64) { counts[addr] = v })
+	if got := counts[l.D(1)]; got != 3 {
+		t.Errorf("root count = %d, want 3 (padding leaves)", got)
+	}
+	// Left half (leaves 0-3) has no padding.
+	if got, ok := counts[l.D(2)]; ok {
+		t.Errorf("left-half count = %d, want unset (no padding)", got)
+	}
+	// Right half (leaves 4-7) has 3 padding leaves.
+	if got := counts[l.D(3)]; got != 3 {
+		t.Errorf("right-half count = %d, want 3", got)
+	}
+}
+
+func TestVLayoutBasics(t *testing.T) {
+	l := NewVLayout(100, 10, 100)
+	if l.BlockSize != 7 { // log2(NextPow2(100)) = log2(128)
+		t.Errorf("BlockSize = %d, want 7", l.BlockSize)
+	}
+	if l.RealBlocks() != 15 { // ceil(100/7)
+		t.Errorf("RealBlocks = %d, want 15", l.RealBlocks())
+	}
+	if l.Blocks != 16 {
+		t.Errorf("Blocks = %d, want 16", l.Blocks)
+	}
+	if l.Lb != 4 {
+		t.Errorf("Lb = %d, want 4", l.Lb)
+	}
+	if got, want := l.IterationLength(), 2*4+7+1; got != want {
+		t.Errorf("IterationLength = %d, want %d", got, want)
+	}
+	if got := l.Iter(); got != l.B(2*l.Blocks-1)+1 {
+		t.Errorf("Iter() = %d, want right after the heap", got)
+	}
+}
+
+func TestVLayoutLeavesUnder(t *testing.T) {
+	l := NewVLayout(64, 8, 64)
+	if got := l.LeavesUnder(1); got != l.Blocks {
+		t.Errorf("LeavesUnder(root) = %d, want %d", got, l.Blocks)
+	}
+	for i := 0; i < l.Blocks; i++ {
+		if got := l.LeavesUnder(l.LeafNode(i)); got != 1 {
+			t.Errorf("LeavesUnder(leaf %d) = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestVLayoutSetupTreeCountsPadding(t *testing.T) {
+	l := NewVLayout(100, 10, 100) // 15 real blocks of 16
+	counts := make(map[int]int64)
+	l.SetupTree(func(addr int, v int64) { counts[addr] = v })
+	if got := counts[l.B(1)]; got != 1 {
+		t.Errorf("root block count = %d, want 1 (one padding block)", got)
+	}
+}
+
+func TestTreeLayoutProperties(t *testing.T) {
+	f := func(rawN uint8, rawP uint8) bool {
+		n := int(rawN%200) + 1
+		p := int(rawP)%n + 1
+		l := NewTreeLayout(n, p, n)
+		// TreeN is the least power of two >= N.
+		if l.TreeN < n || (l.TreeN > 1 && l.TreeN/2 >= n) {
+			return false
+		}
+		// Heap and w regions are disjoint and contiguous.
+		if l.W(0) != l.D(2*l.TreeN-1)+1 {
+			return false
+		}
+		if l.Base+l.Size() != l.W(p-1)+1 {
+			return false
+		}
+		// Every leaf's parent chain reaches the root.
+		v := l.Leaf(n - 1)
+		steps := 0
+		for v > 1 {
+			v /= 2
+			steps++
+		}
+		return steps == l.Levels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVLayoutProperties(t *testing.T) {
+	f := func(rawN uint16, rawP uint8) bool {
+		n := int(rawN%2000) + 1
+		p := int(rawP)%n + 1
+		l := NewVLayout(n, p, n)
+		// Every element belongs to exactly one real block.
+		if l.RealBlocks()*l.BlockSize < n {
+			return false
+		}
+		if (l.RealBlocks()-1)*l.BlockSize >= n {
+			return false
+		}
+		// Blocks is a power of two >= RealBlocks.
+		if l.Blocks < l.RealBlocks() || l.Blocks != NextPow2(l.Blocks) {
+			return false
+		}
+		return l.IterationLength() == 2*l.Lb+l.BlockSize+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package writeall
+
+import "repro/internal/pram"
+
+// Trivial is the optimal failure-free Write-All solution: processor pid
+// writes cells pid, pid+P, pid+2P, ... in round-robin. It keeps its
+// position in private memory, so a failure sends it back to its first
+// cell; it is the "trivial and optimal parallel assignment" the paper
+// notes is not fault-tolerant, and the natural victim of the thrashing
+// adversary of Example 2.2.
+type Trivial struct {
+	arrayDone
+}
+
+// NewTrivial returns the trivial parallel-assignment algorithm.
+func NewTrivial() *Trivial { return &Trivial{} }
+
+// Name implements pram.Algorithm.
+func (t *Trivial) Name() string { return "trivial" }
+
+// MemorySize implements pram.Algorithm.
+func (t *Trivial) MemorySize(n, p int) int { return n }
+
+// Setup implements pram.Algorithm.
+func (t *Trivial) Setup(mem *pram.Memory, n, p int) { t.reset() }
+
+// NewProcessor implements pram.Algorithm.
+func (t *Trivial) NewProcessor(pid, n, p int) pram.Processor {
+	return &trivialProc{pid: pid, n: n, p: p}
+}
+
+// Done implements pram.Algorithm.
+func (t *Trivial) Done(mem *pram.Memory, n, p int) bool { return t.done(mem, n) }
+
+type trivialProc struct {
+	pid, n, p int
+	k         int // private: next stride index; lost on failure
+}
+
+// Cycle implements pram.Processor.
+func (t *trivialProc) Cycle(ctx *pram.Ctx) pram.Status {
+	addr := t.pid + t.k*t.p
+	if addr >= t.n {
+		return pram.Halt
+	}
+	ctx.Write(addr, 1)
+	t.k++
+	return pram.Continue
+}
+
+var _ pram.Algorithm = (*Trivial)(nil)
+
+// Sequential is a single-processor Write-All baseline whose position is
+// checkpointed in the stable action counter, so it resumes where it
+// stopped after a failure. Only processor 0 works; other processors halt
+// immediately. Its completed work is N regardless of the failure pattern,
+// which makes it the T(|I|) = Theta(|I|) reference of Remark 3.
+type Sequential struct {
+	arrayDone
+}
+
+// NewSequential returns the sequential checkpointing baseline.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements pram.Algorithm.
+func (s *Sequential) Name() string { return "sequential" }
+
+// MemorySize implements pram.Algorithm.
+func (s *Sequential) MemorySize(n, p int) int { return n }
+
+// Setup implements pram.Algorithm.
+func (s *Sequential) Setup(mem *pram.Memory, n, p int) { s.reset() }
+
+// NewProcessor implements pram.Algorithm.
+func (s *Sequential) NewProcessor(pid, n, p int) pram.Processor {
+	return &sequentialProc{pid: pid, n: n}
+}
+
+// Done implements pram.Algorithm.
+func (s *Sequential) Done(mem *pram.Memory, n, p int) bool { return s.done(mem, n) }
+
+type sequentialProc struct {
+	pid, n int
+}
+
+// Cycle implements pram.Processor.
+func (s *sequentialProc) Cycle(ctx *pram.Ctx) pram.Status {
+	if s.pid != 0 {
+		return pram.Halt
+	}
+	pos := int(ctx.Stable())
+	if pos >= s.n {
+		return pram.Halt
+	}
+	ctx.Write(pos, 1)
+	ctx.SetStable(pram.Word(pos + 1))
+	return pram.Continue
+}
+
+var _ pram.Algorithm = (*Sequential)(nil)

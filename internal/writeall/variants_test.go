@@ -1,0 +1,220 @@
+package writeall_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+func TestXInPlaceUsesOnlyNPlusPCells(t *testing.T) {
+	alg := writeall.NewXInPlace()
+	if got, want := alg.MemorySize(100, 10), 110; got != want {
+		t.Errorf("MemorySize = %d, want %d (Remark 7: in place, no done array)", got, want)
+	}
+	if got, want := writeall.NewX().MemorySize(100, 10), 100+2*128-1+10; got != want {
+		t.Errorf("plain X MemorySize = %d, want %d", got, want)
+	}
+}
+
+func TestXInPlaceFailureFreeWorkIsNLogN(t *testing.T) {
+	// Unlike plain X (which stops the moment the separate array fills),
+	// the in-place variant's interior cells are array cells, so finishing
+	// requires the whole tree walk: S = Theta(N log N) failure-free with
+	// P = N, and not more.
+	const n = 256 // log2 = 8
+	got := run(t, pram.Config{N: n, P: n}, writeall.NewXInPlace(), adversary.None{}).S()
+	if got < n {
+		t.Errorf("S = %d, want >= N = %d", got, n)
+	}
+	if got > 4*n*8 {
+		t.Errorf("S = %d, want O(N log N) ~ %d", got, n*8)
+	}
+}
+
+func TestXInPlaceSurvivesWorstCaseAdversaries(t *testing.T) {
+	for _, mkAdv := range []func() pram.Adversary{
+		func() pram.Adversary { return adversary.NewHalving() },
+		func() pram.Adversary { return adversary.Thrashing{Rotate: true} },
+	} {
+		adv := mkAdv()
+		t.Run(adv.Name(), func(t *testing.T) {
+			run(t, pram.Config{N: 100, P: 50}, writeall.NewXInPlace(), adv)
+		})
+	}
+}
+
+func TestACCDifferentSeedsDifferentWork(t *testing.T) {
+	s1 := run(t, pram.Config{N: 64, P: 16}, writeall.NewACC(1), adversary.None{}).S()
+	s2 := run(t, pram.Config{N: 64, P: 16}, writeall.NewACC(2), adversary.None{}).S()
+	if s1 == s2 {
+		t.Error("two seeds produced identical work; randomization suspect")
+	}
+}
+
+func TestACCSameSeedReproducible(t *testing.T) {
+	s1 := run(t, pram.Config{N: 64, P: 16}, writeall.NewACC(9), adversary.NewRandom(0.2, 0.6, 3))
+	s2 := run(t, pram.Config{N: 64, P: 16}, writeall.NewACC(9), adversary.NewRandom(0.2, 0.6, 3))
+	if s1 != s2 {
+		t.Errorf("same seeds diverged:\n  a = %+v\n  b = %+v", s1, s2)
+	}
+}
+
+func TestACCRestartsDrawFreshRandomStreams(t *testing.T) {
+	// Kill every processor once at tick 3, restart at tick 4; the run
+	// must still finish (fresh streams, fresh delays).
+	var pattern []adversary.Event
+	const p = 8
+	for pid := 0; pid < p; pid++ {
+		if pid != 0 { // keep liveness without relying on the veto
+			pattern = append(pattern, adversary.Event{Tick: 3, PID: pid, Kind: adversary.Fail})
+			pattern = append(pattern, adversary.Event{Tick: 4, PID: pid, Kind: adversary.Restart})
+		}
+	}
+	got := run(t, pram.Config{N: 64, P: p}, writeall.NewACC(4), adversary.NewScheduled(pattern))
+	if got.Failures != p-1 {
+		t.Errorf("Failures = %d, want %d", got.Failures, p-1)
+	}
+}
+
+func TestObliviousWorkMatchesTheorem32Shape(t *testing.T) {
+	// Failure-free: exactly one write per processor per cycle, N cells
+	// finished in ceil(N/P)-ish waves; with P = N it is one tick of work
+	// plus the halting cycles.
+	const n = 128
+	got := run(t, pram.Config{N: n, P: n, AllowSnapshot: true},
+		writeall.NewOblivious(), adversary.None{})
+	if got.Ticks > 3 {
+		t.Errorf("Ticks = %d; balanced oblivious assignment finishes immediately", got.Ticks)
+	}
+	if got.Snapshots == 0 {
+		t.Error("no snapshots recorded; strong model not exercised")
+	}
+}
+
+func TestObliviousBalancedAssignmentNoCollisions(t *testing.T) {
+	// With U unvisited and P processors, targets floor(pid*U/P) cover
+	// distinct cells when P <= U; the COMMON machine would reject
+	// disagreeing writes, and None here guarantees one-tick completion -
+	// so reaching Done without error is the assertion.
+	for _, p := range []int{1, 3, 64, 128} {
+		run(t, pram.Config{N: 128, P: p, AllowSnapshot: true},
+			writeall.NewOblivious(), adversary.None{})
+	}
+}
+
+func TestCombinedWorkAtMostTwiceBestComponentPlusSlack(t *testing.T) {
+	const n = 256
+	for _, mkAdv := range []func() pram.Adversary{
+		func() pram.Adversary { return adversary.None{} },
+		func() pram.Adversary { return adversary.NewHalving() },
+	} {
+		sx := run(t, pram.Config{N: n, P: n}, writeall.NewX(), mkAdv()).S()
+		sv := run(t, pram.Config{N: n, P: n}, writeall.NewV(), mkAdv()).S()
+		sc := run(t, pram.Config{N: n, P: n}, writeall.NewCombined(), mkAdv()).S()
+		best := sx
+		if sv < best {
+			best = sv
+		}
+		// Theorem 4.9: interleaving costs at most a factor ~2 over the
+		// faster component (plus lower-order slack).
+		if sc > 3*best {
+			t.Errorf("combined S = %d > 3x best component %d under %s", sc, best, mkAdv().Name())
+		}
+	}
+}
+
+func TestAdversaryViewExposesIntents(t *testing.T) {
+	// The halving and stalking adversaries depend on seeing intended
+	// writes; verify the view carries them.
+	const n, p = 16, 4
+	sawWrite := false
+	probe := probeAdversary{onView: func(v *pram.View) {
+		for pid, in := range v.Intents {
+			if in == nil {
+				if v.States[pid] == pram.Alive {
+					sawWrite = false
+				}
+				continue
+			}
+			for _, w := range in.Writes {
+				if w.Addr < n && w.Val != 0 {
+					sawWrite = true
+				}
+			}
+		}
+	}}
+	m, err := pram.New(pram.Config{N: n, P: p}, writeall.NewX(), &probe)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sawWrite {
+		t.Error("adversary never observed an intended array write")
+	}
+}
+
+type probeAdversary struct {
+	onView func(*pram.View)
+}
+
+func (p *probeAdversary) Name() string { return "probe" }
+
+func (p *probeAdversary) Decide(v *pram.View) pram.Decision {
+	if p.onView != nil {
+		p.onView(v)
+	}
+	return pram.Decision{}
+}
+
+// TestXUnderAdversarialScheduling: with an adversarial scheduler (a
+// deterministic model of asynchrony: only a rotating subset of processors
+// advances each tick) plus random failures, X still solves Write-All -
+// its shared-memory positions make it schedule-oblivious, foreshadowing
+// the asynchronous executions of [MSP 90].
+func TestXUnderAdversarialScheduling(t *testing.T) {
+	const n, p = 100, 16
+	schedules := map[string]func(tick, pid int) bool{
+		"round-robin":  func(tick, pid int) bool { return pid == tick%p },
+		"odd-even":     func(tick, pid int) bool { return pid%2 == tick%2 },
+		"prime-strobe": func(tick, pid int) bool { return (tick+pid)%3 != 0 },
+	}
+	for name, sched := range schedules {
+		t.Run(name, func(t *testing.T) {
+			cfg := pram.Config{N: n, P: p, Scheduler: sched}
+			adv := adversary.NewRandom(0.1, 0.6, 71)
+			for _, alg := range []pram.Algorithm{writeall.NewX(), writeall.NewXInPlace(), writeall.NewACC(5)} {
+				m, err := pram.New(cfg, alg, adv)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("Run(%s): %v", alg.Name(), err)
+				}
+				if !writeall.Verify(m.Memory(), n) {
+					t.Fatalf("postcondition violated (%s)", alg.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestVRequiresLockstep documents why V belongs to the synchronous model:
+// under a scheduler that idles half the processors each tick, no
+// processor executes a contiguous iteration and V makes no progress.
+func TestVRequiresLockstep(t *testing.T) {
+	const n, p = 64, 8
+	cfg := pram.Config{N: n, P: p, MaxTicks: 20000,
+		Scheduler: func(tick, pid int) bool { return pid%2 == tick%2 }}
+	m, err := pram.New(cfg, writeall.NewV(), adversary.None{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(); !errors.Is(err, pram.ErrTickLimit) {
+		t.Fatalf("Run err = %v, want tick limit (V needs lockstep)", err)
+	}
+}

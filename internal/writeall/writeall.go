@@ -1,0 +1,70 @@
+// Package writeall implements the Write-All algorithms of Kanellakis and
+// Shvartsman (PODC 1991) and their baselines:
+//
+//   - Trivial: the optimal failure-free parallel assignment (no fault
+//     tolerance), and Sequential, a single checkpointing processor.
+//   - W: the four-phase algorithm of [KS 89], the fail-stop (no restart)
+//     baseline this paper modifies.
+//   - V: the paper's Section 4.1 modification of W for restarts, with the
+//     iteration wrap-around counter.
+//   - X: the paper's Section 4.2 local-traversal algorithm with
+//     PID-bit-directed descent (appendix pseudocode).
+//   - Combined: the Theorem 4.9 interleaving of V and X.
+//   - Oblivious: the Theorem 3.2 algorithm for the strong model in which
+//     a processor reads the whole shared memory at unit cost.
+//   - ACC: a randomized coupon-clipping stand-in for [MSP 90], used by the
+//     Section 5 stalking-adversary experiments.
+//
+// All algorithms follow the repository convention that the Write-All array
+// x occupies shared cells [0, N); a cell is visited when it holds a
+// non-zero value. The algorithm-specific adversaries of Theorem 4.8
+// (post-order against X) and Section 5 (leaf-stalking against ACC) also
+// live here because they read the algorithms' tree layouts.
+package writeall
+
+import "repro/internal/pram"
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n < 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Log2 returns log2(n) for a power of two n.
+func Log2(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}
+
+// arrayDone is a Done predicate for the Write-All array, with a monotone
+// cursor so that repeated polling costs amortized O(N) per run (cells only
+// ever go from 0 to 1).
+type arrayDone struct {
+	cursor int
+}
+
+func (a *arrayDone) reset() { a.cursor = 0 }
+
+func (a *arrayDone) done(mem *pram.Memory, n int) bool {
+	for a.cursor < n && mem.Load(a.cursor) != 0 {
+		a.cursor++
+	}
+	return a.cursor >= n
+}
+
+// Verify reports whether the Write-All postcondition holds: every cell of
+// x[0..n) is non-zero.
+func Verify(mem *pram.Memory, n int) bool {
+	for i := 0; i < n; i++ {
+		if mem.Load(i) == 0 {
+			return false
+		}
+	}
+	return true
+}

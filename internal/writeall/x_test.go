@@ -1,0 +1,259 @@
+package writeall_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+// TestXProcessorZeroMarchesLeftToRight verifies the property Theorem 4.8's
+// adversary relies on: alone, processor 0 (all descent bits zero) visits
+// the leaves in left-to-right order.
+func TestXProcessorZeroMarchesLeftToRight(t *testing.T) {
+	const n = 16
+	algX := writeall.NewX()
+	lay := algX.Layout(n, 1)
+	m, err := pram.New(pram.Config{N: n, P: 1}, algX, adversary.None{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	lastElem := -1
+	for {
+		done, err := m.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			break
+		}
+		pos := int(m.Memory().Load(lay.W(0)))
+		if pos != 0 && lay.IsLeaf(pos) {
+			e := lay.Element(pos)
+			if e < lastElem {
+				t.Fatalf("processor 0 moved backwards: leaf %d after leaf %d", e, lastElem)
+			}
+			lastElem = e
+		}
+	}
+	if lastElem != n-1 {
+		t.Errorf("last visited leaf = %d, want %d", lastElem, n-1)
+	}
+}
+
+// TestXFailureFreeBalancedDescent: with P = N and no failures, the PID
+// bits spread the processors perfectly - every processor ends up on its
+// own leaf and the run finishes in O(1) leaf time.
+func TestXFailureFreeBalancedDescent(t *testing.T) {
+	const n = 64
+	got := run(t, pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{})
+	// All N leaves written in the very first work wave: the leaf write
+	// happens on tick 1 (after the init cycle), so Done triggers then.
+	if got.Ticks > 3 {
+		t.Errorf("Ticks = %d; balanced X with P=N writes every cell immediately", got.Ticks)
+	}
+}
+
+// TestXInitRedoneAfterEarlyFailure: a processor killed during its
+// initialization action redoes it on restart (the stable action counter
+// checkpoints at action granularity).
+func TestXInitRedoneAfterEarlyFailure(t *testing.T) {
+	const n = 8
+	pattern := []adversary.Event{
+		{Tick: 0, PID: 1, Kind: adversary.Fail, Point: pram.FailAfterReads},
+		{Tick: 3, PID: 1, Kind: adversary.Restart},
+	}
+	got := run(t, pram.Config{N: n, P: 2}, writeall.NewX(), adversary.NewScheduled(pattern))
+	if got.Failures != 1 || got.Restarts != 1 {
+		t.Fatalf("F/R = %d/%d, want 1/1", got.Failures, got.Restarts)
+	}
+}
+
+// TestXModuloPIDsExpendBoundedWork exercises Lemma 4.5's observation:
+// processors whose PIDs coincide modulo the significant bits travel
+// together, so doubling the processors on the same tree at most doubles
+// the work.
+func TestXModuloPIDsExpendBoundedWork(t *testing.T) {
+	const n = 64
+	s1 := run(t, pram.Config{N: n, P: n}, writeall.NewX(), adversary.NewHalving()).S()
+	s2 := run(t, pram.Config{N: n, P: n / 2}, writeall.NewX(), adversary.NewHalving()).S()
+	if s1 > 3*s2 {
+		t.Errorf("S(P=N) = %d > 3*S(P=N/2) = %d; doubling processors should at most ~double work",
+			s1, 3*s2)
+	}
+}
+
+// TestXPostconditionProperty: Write-All postcondition holds for arbitrary
+// sizes, processor counts and random failure patterns.
+func TestXPostconditionProperty(t *testing.T) {
+	f := func(rawN uint8, rawP uint8, seed int64) bool {
+		n := int(rawN%120) + 1
+		p := int(rawP)%n + 1
+		adv := adversary.NewRandom(0.25, 0.6, seed)
+		adv.Points = []pram.FailPoint{
+			pram.FailBeforeReads, pram.FailAfterReads, pram.FailAfterWrite1,
+		}
+		m, err := pram.New(pram.Config{N: n, P: p}, writeall.NewX(), adv)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		return writeall.Verify(m.Memory(), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCombinedPostconditionProperty is the same property for the combined
+// V+X algorithm (both data structures in play).
+func TestCombinedPostconditionProperty(t *testing.T) {
+	f := func(rawN uint8, rawP uint8, seed int64) bool {
+		n := int(rawN%120) + 1
+		p := int(rawP)%n + 1
+		adv := adversary.NewRandom(0.25, 0.6, seed)
+		m, err := pram.New(pram.Config{N: n, P: p}, writeall.NewCombined(), adv)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		return writeall.Verify(m.Memory(), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccountingIdentitiesProperty checks the Remark 2 inequality
+// S' <= S + |F| and the sigma definition on real runs.
+func TestAccountingIdentitiesProperty(t *testing.T) {
+	f := func(rawN uint8, seed int64) bool {
+		n := int(rawN%100) + 2
+		adv := adversary.NewRandom(0.3, 0.7, seed)
+		adv.Points = []pram.FailPoint{pram.FailAfterReads, pram.FailAfterWrite1}
+		m, err := pram.New(pram.Config{N: n, P: n}, writeall.NewX(), adv)
+		if err != nil {
+			return false
+		}
+		got, err := m.Run()
+		if err != nil {
+			return false
+		}
+		if got.SPrime() > got.S()+got.FSize() {
+			return false // Remark 2 violated
+		}
+		want := float64(got.S()) / float64(int64(n)+got.FSize())
+		return got.Overhead() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestXWorstCaseDoublingRatio: under the post-order adversary, doubling N
+// roughly triples the work - the Lemma 4.6 recurrence S(N) = 3 S(N/2).
+func TestXWorstCaseDoublingRatio(t *testing.T) {
+	sOf := func(n int) float64 {
+		algX := writeall.NewX()
+		adv := writeall.NewPostOrder(algX.Layout(n, n))
+		return float64(run(t, pram.Config{N: n, P: n}, algX, adv).S())
+	}
+	ratio := sOf(128) / sOf(64)
+	if ratio < 2.5 || ratio > 4.0 {
+		t.Errorf("S(128)/S(64) = %.2f, want ~3 (the 3 S(N/2) recurrence)", ratio)
+	}
+}
+
+// TestPostOrderForcesSuperlinearWork: the Theorem 4.8 pattern costs far
+// more than the failure-free run.
+func TestPostOrderForcesSuperlinearWork(t *testing.T) {
+	const n = 128
+	algX := writeall.NewX()
+	worst := run(t, pram.Config{N: n, P: n}, algX, writeall.NewPostOrder(algX.Layout(n, n))).S()
+	free := run(t, pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{}).S()
+	if worst < 10*free {
+		t.Errorf("post-order work %d vs failure-free %d; want a large gap", worst, free)
+	}
+}
+
+// TestStalkingTargetsLastLeaf: the stalked cell is the last one completed
+// under the fail-stop stalker.
+func TestStalkingTargetsLastLeaf(t *testing.T) {
+	const n = 32
+	acc := writeall.NewACC(7)
+	adv := writeall.NewStalking(acc.Layout(n, 8), false)
+	m, err := pram.New(pram.Config{N: n, P: 8}, acc, adv)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	target := n - 1
+	targetWrittenLast := true
+	for {
+		done, err := m.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			break
+		}
+		if m.Memory().Load(target) != 0 {
+			// Target already written: everything else must be done too
+			// (it is the final cell), otherwise the stalker failed to
+			// protect it.
+			for i := 0; i < n; i++ {
+				if m.Memory().Load(i) == 0 {
+					targetWrittenLast = false
+				}
+			}
+		}
+	}
+	if !targetWrittenLast {
+		t.Error("stalked leaf was completed before other work remained; stalker ineffective")
+	}
+}
+
+// fullTerminationX wraps X with a Done predicate that waits for the
+// algorithm's own termination (root marked done) instead of stopping at
+// array completion, so Lemma 4.4's time bounds can be observed.
+type fullTerminationX struct {
+	*writeall.X
+}
+
+func (f fullTerminationX) Done(mem *pram.Memory, n, p int) bool {
+	lay := f.Layout(n, p)
+	return mem.Load(lay.D(1)) != 0
+}
+
+// TestXTimeBoundsLemma44: with N processors and no failures, X is a
+// correct Omega(log N) and O(N) *time* algorithm (Lemma 4.4), measured to
+// its own termination (root marked), not just task completion.
+func TestXTimeBoundsLemma44(t *testing.T) {
+	for _, n := range []int{64, 256} {
+		alg := fullTerminationX{writeall.NewX()}
+		m, err := pram.New(pram.Config{N: n, P: n}, alg, adversary.None{})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		got, err := m.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		logN := writeall.Log2(n)
+		if got.Ticks < logN {
+			t.Errorf("N=%d: Ticks = %d, want >= log N = %d (root mark needs a full ascent)",
+				n, got.Ticks, logN)
+		}
+		if got.Ticks > 4*n {
+			t.Errorf("N=%d: Ticks = %d, want O(N)", n, got.Ticks)
+		}
+		if !writeall.Verify(m.Memory(), n) {
+			t.Error("postcondition violated")
+		}
+	}
+}
