@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race bench bench-json fuzz experiments experiments-full cover clean
 
-all: build vet test
+all: check
+
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -16,8 +18,16 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-json regenerates BENCH_baseline.json: the kernel and tick
+# throughput benchmarks in machine-readable form (see cmd/benchjson).
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > BENCH_baseline.json
 
 fuzz:
 	$(GO) test -fuzz FuzzWriteAllUnderRandomPatterns -fuzztime 30s ./internal/writeall/

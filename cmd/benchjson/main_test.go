@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/pram
+cpu: Fake CPU @ 2.00GHz
+BenchmarkSteadyStateTick/serial/p=64-8         	  500000	      2100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelWriteAll/serial-8               	     120	  9000000 ns/op	    4096 work-S/op	  131072 B/op	      40 allocs/op
+BenchmarkBroken --- SKIP
+PASS
+ok  	repro/internal/pram	3.2s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "Fake CPU @ 2.00GHz" {
+		t.Errorf("environment = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	tick := rep.Benchmarks[0]
+	if tick.Name != "BenchmarkSteadyStateTick/serial/p=64-8" || tick.Package != "repro/internal/pram" {
+		t.Errorf("benchmark[0] = %q in %q", tick.Name, tick.Package)
+	}
+	if tick.Iterations != 500000 || tick.Metrics["ns/op"] != 2100 || tick.Metrics["allocs/op"] != 0 {
+		t.Errorf("benchmark[0] parsed as %+v", tick)
+	}
+	if got := rep.Benchmarks[1].Metrics["work-S/op"]; got != 4096 {
+		t.Errorf("custom metric work-S/op = %v, want 4096", got)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX --- SKIP",
+		"BenchmarkX",
+		"BenchmarkX notanumber 10 ns/op",
+		"BenchmarkX 10 nounitvalue",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted malformed line", line)
+		}
+	}
+}

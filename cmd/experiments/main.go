@@ -30,13 +30,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only   = fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
-		full   = fs.Bool("full", false, "use the full sizes recorded in EXPERIMENTS.md")
-		format = fs.String("format", "text", "output format: text or markdown")
+		only     = fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
+		full     = fs.Bool("full", false, "use the full sizes recorded in EXPERIMENTS.md")
+		format   = fs.String("format", "text", "output format: text or markdown")
+		parallel = fs.Int("parallel", 1, "sweep points evaluated concurrently (0 = GOMAXPROCS); output is identical at any setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bench.SetParallelism(*parallel)
 
 	scale := bench.Quick
 	if *full {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -31,18 +32,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("writeall", flag.ContinueOnError)
 	var (
-		algName = fs.String("alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
-		advName = fs.String("adv", "none", "adversary: none, random, thrashing, rotating, halving, postorder, stalking, stalking-failstop")
-		n       = fs.Int("n", 1024, "Write-All array size N")
-		p       = fs.Int("p", 0, "processor count P (0 means P = N)")
-		seed    = fs.Int64("seed", 1, "random seed (random adversary, ACC)")
-		failP   = fs.Float64("fail", 0.1, "per-tick failure probability (random adversary)")
-		restart = fs.Float64("restart", 0.5, "per-tick restart probability (random adversary)")
-		events  = fs.Int64("events", 0, "cap on failure+restart events, 0 = unlimited (random adversary)")
-		ticks   = fs.Int("ticks", 0, "tick budget, 0 = default")
-		csvPath = fs.String("csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
-		record  = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
-		replay  = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
+		algName  = fs.String("alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
+		advName  = fs.String("adv", "none", "adversary: none, random, thrashing, rotating, halving, postorder, stalking, stalking-failstop")
+		n        = fs.Int("n", 1024, "Write-All array size N")
+		p        = fs.Int("p", 0, "processor count P (0 means P = N)")
+		seed     = fs.Int64("seed", 1, "random seed (random adversary, ACC)")
+		failP    = fs.Float64("fail", 0.1, "per-tick failure probability (random adversary)")
+		restart  = fs.Float64("restart", 0.5, "per-tick restart probability (random adversary)")
+		events   = fs.Int64("events", 0, "cap on failure+restart events, 0 = unlimited (random adversary)")
+		ticks    = fs.Int("ticks", 0, "tick budget, 0 = default")
+		csvPath  = fs.String("csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
+		traceOut = fs.String("trace", "", "stream the run's event trace (cycle, tick, and run events) as JSON lines to this file")
+		traceTk  = fs.Bool("trace-ticks", false, "with -trace, restrict the stream to tick and run events")
+		parallel = fs.Int("parallel", 0, "run the parallel tick kernel with this many workers (0 = serial, -1 = GOMAXPROCS)")
+		record   = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
+		replay   = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,20 +56,43 @@ func run(args []string) error {
 	}
 
 	cfg := failstop.Config{N: *n, P: *p, MaxTicks: *ticks}
+	if *parallel != 0 {
+		cfg.Kernel = pram.ParallelKernel
+		cfg.Workers = *parallel // non-positive means GOMAXPROCS
+	}
 
-	var csvFile *os.File
+	var sinks pram.MultiSink
 	if *csvPath != "" {
-		var err error
-		csvFile, err = os.Create(*csvPath)
+		csvFile, err := os.Create(*csvPath)
 		if err != nil {
 			return fmt.Errorf("create csv: %w", err)
 		}
 		defer csvFile.Close()
 		fmt.Fprintln(csvFile, "tick,alive,completed,failures,restarts")
-		cfg.Tracer = func(ts pram.TickStats) {
+		sinks = append(sinks, pram.TickFunc(func(ev pram.TickEvent) {
 			fmt.Fprintf(csvFile, "%d,%d,%d,%d,%d\n",
-				ts.Tick, ts.Alive, ts.Completed, ts.Failures, ts.Restarts)
+				ev.Tick, ev.Alive, ev.Completed, ev.Failures, ev.Restarts)
+		}))
+	}
+	var jsonl *pram.JSONL
+	if *traceOut != "" {
+		traceFile, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
 		}
+		defer traceFile.Close()
+		buffered := bufio.NewWriter(traceFile)
+		defer buffered.Flush()
+		jsonl = pram.NewJSONL(buffered)
+		jsonl.Ticks = *traceTk
+		sinks = append(sinks, jsonl)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		cfg.Sink = sinks[0]
+	default:
+		cfg.Sink = sinks
 	}
 
 	var alg failstop.Algorithm
@@ -141,6 +168,9 @@ func run(args []string) error {
 	m, err := failstop.RunWriteAll(alg, adv, cfg)
 	if err != nil {
 		return fmt.Errorf("%s under %s: %w", alg.Name(), adv.Name(), err)
+	}
+	if jsonl != nil && jsonl.Err() != nil {
+		return fmt.Errorf("write trace: %w", jsonl.Err())
 	}
 	if recorder != nil {
 		f, err := os.Create(*record)

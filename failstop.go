@@ -1,6 +1,8 @@
 package failstop
 
 import (
+	"io"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/pram"
@@ -23,6 +25,27 @@ type (
 	Algorithm = pram.Algorithm
 	// Adversary is an on-line failure/restart adversary.
 	Adversary = pram.Adversary
+	// Kernel selects the tick-execution strategy (Config.Kernel).
+	Kernel = pram.Kernel
+	// MemoryView is a read-only view of the shared memory, as handed to
+	// Algorithm.Done and adversaries.
+	MemoryView = pram.MemoryView
+	// Sink observes a run's cycle-, tick-, and run-level events.
+	Sink = pram.Sink
+	// CycleEvent reports one processor's update cycle outcome.
+	CycleEvent = pram.CycleEvent
+	// TickEvent reports one tick's aggregate profile.
+	TickEvent = pram.TickEvent
+	// RunEvent reports a finished run.
+	RunEvent = pram.RunEvent
+	// TickFunc adapts a function to a tick-only Sink.
+	TickFunc = pram.TickFunc
+	// MultiSink fans events out to several sinks in order.
+	MultiSink = pram.MultiSink
+	// ProcTracker is a Sink accumulating per-processor work and progress.
+	ProcTracker = pram.ProcTracker
+	// JSONL is a Sink streaming events as JSON lines.
+	JSONL = pram.JSONL
 	// Program is an N-processor synchronous PRAM program for the robust
 	// executor.
 	Program = core.Program
@@ -44,6 +67,23 @@ const (
 	// EREW forbids concurrent reads and writes.
 	EREW = pram.EREW
 )
+
+// Tick kernels (Config.Kernel): how a machine executes the attempt phase
+// of each tick. Both produce bit-identical runs.
+const (
+	// SerialKernel attempts cycles one PID at a time (the default).
+	SerialKernel = pram.SerialKernel
+	// ParallelKernel shards the attempt phase across worker goroutines
+	// (Config.Workers; commit stays serial in PID order).
+	ParallelKernel = pram.ParallelKernel
+)
+
+// NewProcTracker returns a ProcTracker for p processors; pass it as
+// Config.Sink.
+func NewProcTracker(p int) *ProcTracker { return pram.NewProcTracker(p) }
+
+// NewJSONL returns a JSONL sink writing to w; pass it as Config.Sink.
+func NewJSONL(w io.Writer) *JSONL { return pram.NewJSONL(w) }
 
 // Executor engines (Theorem 4.1).
 const (

@@ -110,7 +110,7 @@ func (t *Targeted) Decide(v *pram.View) pram.Decision {
 		if pid < 0 || pid >= v.P {
 			continue
 		}
-		switch v.States[pid] {
+		switch v.States.At(pid) {
 		case pram.Alive:
 			if dec.Failures == nil {
 				dec.Failures = make(map[int]pram.FailPoint)

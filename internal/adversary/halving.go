@@ -45,8 +45,8 @@ func (h *Halving) Name() string {
 func (h *Halving) Decide(v *pram.View) pram.Decision {
 	var dec pram.Decision
 	if !h.NoRestarts {
-		for pid, st := range v.States {
-			if st == pram.Dead {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			if v.States.At(pid) == pram.Dead {
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 		}

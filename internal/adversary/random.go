@@ -39,11 +39,11 @@ func (r *Random) Decide(v *pram.View) pram.Decision {
 		r.rng = rand.New(rand.NewSource(r.Seed))
 	}
 	var dec pram.Decision
-	for pid, st := range v.States {
+	for pid := 0; pid < v.States.Len(); pid++ {
 		if r.MaxEvents > 0 && r.events >= r.MaxEvents {
 			break
 		}
-		switch st {
+		switch v.States.At(pid) {
 		case pram.Alive:
 			if r.rng.Float64() < r.FailProb {
 				if dec.Failures == nil {

@@ -35,20 +35,20 @@ func (a Thrashing) Decide(v *pram.View) pram.Decision {
 	survivor := -1
 	if a.Rotate {
 		want := v.Tick % v.P
-		if v.States[want] == pram.Alive {
+		if v.States.At(want) == pram.Alive {
 			survivor = want
 		}
 	}
 	if survivor == -1 {
-		for pid, st := range v.States {
-			if st == pram.Alive {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			if v.States.At(pid) == pram.Alive {
 				survivor = pid
 				break
 			}
 		}
 	}
-	for pid, st := range v.States {
-		switch st {
+	for pid := 0; pid < v.States.Len(); pid++ {
+		switch v.States.At(pid) {
 		case pram.Alive:
 			if pid == survivor {
 				continue

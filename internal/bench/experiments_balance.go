@@ -43,7 +43,8 @@ func E16LoadBalance(s Scale) []Table {
 	for _, mkAdv := range advs {
 		for _, mkAlg := range algs {
 			alg, adv := mkAlg(), mkAdv()
-			m, err := pram.New(pram.Config{N: n, P: p, TrackPerProcessor: true}, alg, adv)
+			tracker := pram.NewProcTracker(p)
+			m, err := pram.New(pram.Config{N: n, P: p, Sink: tracker}, alg, adv)
 			if err != nil {
 				panic(fmt.Sprintf("bench: E16 New: %v", err))
 			}
@@ -51,7 +52,7 @@ func E16LoadBalance(s Scale) []Table {
 			if err != nil {
 				panic(fmt.Sprintf("bench: E16 Run: %v", err))
 			}
-			loads := m.ProcessorProgress()
+			loads := tracker.Progress()
 			maxOverMean, spread := balanceStats(loads)
 			t.Rows = append(t.Rows, []string{
 				alg.Name(), adv.Name(), itoa(got.S()), f2(maxOverMean), f2(spread),

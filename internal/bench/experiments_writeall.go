@@ -42,16 +42,36 @@ func E1Thrashing(s Scale) []Table {
 		Claim:  "Example 2.2: S' = Omega(N*P) quadratic; completed-work S stays subquadratic",
 		Header: []string{"alg", "N", "ticks", "S", "S'", "S/N", "S'/(N*P)"},
 	}
+	mks := []func() pram.Algorithm{
+		func() pram.Algorithm { return writeall.NewTrivial() },
+		func() pram.Algorithm { return writeall.NewX() },
+	}
+	type job struct {
+		n  int
+		mk func() pram.Algorithm
+	}
+	var jobs []job
 	for _, n := range sizes {
-		for _, alg := range []pram.Algorithm{writeall.NewTrivial(), writeall.NewX()} {
-			got := runWA(pram.Config{N: n, P: n}, alg, adversary.Thrashing{})
-			t.Rows = append(t.Rows, []string{
-				alg.Name(), itoa(int64(n)), itoa(int64(got.Ticks)),
-				itoa(got.S()), itoa(got.SPrime()),
-				f2(float64(got.S()) / float64(n)),
-				f2(float64(got.SPrime()) / float64(n*n)),
-			})
+		for _, mk := range mks {
+			jobs = append(jobs, job{n, mk})
 		}
+	}
+	type point struct {
+		name string
+		got  pram.Metrics
+	}
+	points := Points(len(jobs), func(i int) point {
+		alg := jobs[i].mk()
+		return point{alg.Name(), runWA(pram.Config{N: jobs[i].n, P: jobs[i].n}, alg, adversary.Thrashing{})}
+	})
+	for i, pt := range points {
+		n, got := jobs[i].n, pt.got
+		t.Rows = append(t.Rows, []string{
+			pt.name, itoa(int64(n)), itoa(int64(got.Ticks)),
+			itoa(got.S()), itoa(got.SPrime()),
+			f2(float64(got.S()) / float64(n)),
+			f2(float64(got.SPrime()) / float64(n*n)),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"S'/(N*P) stays near a constant (quadratic blow-up); S/N stays small: only the",
@@ -77,21 +97,32 @@ func E2LowerBound(s Scale) []Table {
 	}
 	type fit struct{ xs, ys []float64 }
 	fits := make(map[string]*fit)
+	type job struct {
+		n, algIdx int
+	}
+	var jobs []job
 	for _, n := range sizes {
-		for _, alg := range algs() {
-			got := runWA(pram.Config{N: n, P: n}, alg, adversary.NewHalving())
-			t.Rows = append(t.Rows, []string{
-				alg.Name(), itoa(int64(n)), itoa(got.S()),
-				f2(float64(got.S()) / (float64(n) * log2(n))),
-			})
-			f := fits[alg.Name()]
-			if f == nil {
-				f = &fit{}
-				fits[alg.Name()] = f
-			}
-			f.xs = append(f.xs, float64(n))
-			f.ys = append(f.ys, float64(got.S()))
+		for i := range algs() {
+			jobs = append(jobs, job{n, i})
 		}
+	}
+	points := Points(len(jobs), func(i int) pram.Metrics {
+		n := jobs[i].n
+		return runWA(pram.Config{N: n, P: n}, algs()[jobs[i].algIdx], adversary.NewHalving())
+	})
+	for i, got := range points {
+		n, alg := jobs[i].n, algs()[jobs[i].algIdx]
+		t.Rows = append(t.Rows, []string{
+			alg.Name(), itoa(int64(n)), itoa(got.S()),
+			f2(float64(got.S()) / (float64(n) * log2(n))),
+		})
+		f := fits[alg.Name()]
+		if f == nil {
+			f = &fit{}
+			fits[alg.Name()] = f
+		}
+		f.xs = append(f.xs, float64(n))
+		f.ys = append(f.ys, float64(got.S()))
 	}
 	for _, alg := range algs() {
 		f := fits[alg.Name()]
@@ -124,24 +155,34 @@ func E3Oblivious(s Scale) []Table {
 		Claim:  "Theorem 3.2: completed work S = Theta(N log N) under any failure/restart pattern",
 		Header: []string{"adversary", "N", "S", "S/(N log N)"},
 	}
-	var xs, ys []float64
+	mkAdvs := []func() pram.Adversary{
+		func() pram.Adversary { return adversary.NewHalving() },
+		func() pram.Adversary { return adversary.Thrashing{} },
+		func() pram.Adversary { return adversary.None{} },
+	}
+	type job struct {
+		n, advIdx int
+	}
+	var jobs []job
 	for _, n := range sizes {
-		for _, mk := range []func() pram.Adversary{
-			func() pram.Adversary { return adversary.NewHalving() },
-			func() pram.Adversary { return adversary.Thrashing{} },
-			func() pram.Adversary { return adversary.None{} },
-		} {
-			adv := mk()
-			cfg := pram.Config{N: n, P: n, AllowSnapshot: true}
-			got := runWA(cfg, writeall.NewOblivious(), adv)
-			t.Rows = append(t.Rows, []string{
-				adv.Name(), itoa(int64(n)), itoa(got.S()),
-				f2(float64(got.S()) / (float64(n) * log2(n))),
-			})
-			if adv.Name() == "halving" {
-				xs = append(xs, float64(n))
-				ys = append(ys, float64(got.S()))
-			}
+		for i := range mkAdvs {
+			jobs = append(jobs, job{n, i})
+		}
+	}
+	points := Points(len(jobs), func(i int) pram.Metrics {
+		cfg := pram.Config{N: jobs[i].n, P: jobs[i].n, AllowSnapshot: true}
+		return runWA(cfg, writeall.NewOblivious(), mkAdvs[jobs[i].advIdx]())
+	})
+	var xs, ys []float64
+	for i, got := range points {
+		n, adv := jobs[i].n, mkAdvs[jobs[i].advIdx]()
+		t.Rows = append(t.Rows, []string{
+			adv.Name(), itoa(int64(n)), itoa(got.S()),
+			f2(float64(got.S()) / (float64(n) * log2(n))),
+		})
+		if adv.Name() == "halving" {
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(got.S()))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -163,18 +204,28 @@ func E4VFailStop(s Scale) []Table {
 		Claim:  "Lemma 4.2: S = O(N + P log^2 N)",
 		Header: []string{"N", "P", "|F|", "S", "S/(N + P log^2 N)"},
 	}
+	type job struct {
+		n, p int
+	}
+	var jobs []job
 	for _, n := range sizes {
 		l2 := int(log2(n))
 		for _, p := range []int{n, max(1, n/(l2*l2))} {
-			adv := adversary.NewRandom(0.02, 0, 5)
-			adv.MaxEvents = int64(p) / 2
-			got := runWA(pram.Config{N: n, P: p}, writeall.NewV(), adv)
-			bound := float64(n) + float64(p)*log2(n)*log2(n)
-			t.Rows = append(t.Rows, []string{
-				itoa(int64(n)), itoa(int64(p)), itoa(got.FSize()), itoa(got.S()),
-				f2(float64(got.S()) / bound),
-			})
+			jobs = append(jobs, job{n, p})
 		}
+	}
+	points := Points(len(jobs), func(i int) pram.Metrics {
+		adv := adversary.NewRandom(0.02, 0, 5)
+		adv.MaxEvents = int64(jobs[i].p) / 2
+		return runWA(pram.Config{N: jobs[i].n, P: jobs[i].p}, writeall.NewV(), adv)
+	})
+	for i, got := range points {
+		n, p := jobs[i].n, jobs[i].p
+		bound := float64(n) + float64(p)*log2(n)*log2(n)
+		t.Rows = append(t.Rows, []string{
+			itoa(int64(n)), itoa(int64(p)), itoa(got.FSize()), itoa(got.S()),
+			f2(float64(got.S()) / bound),
+		})
 	}
 	t.Notes = append(t.Notes,
 		"the ratio S/(N + P log^2 N) stays bounded across N and both processor regimes.")
@@ -236,12 +287,21 @@ func E6XWorstCase(s Scale) []Table {
 		Claim:  "Theorem 4.8: some pattern forces S = Omega(N^{log 3}) ~ N^1.585 (X's upper bound: N^{log 3 + eps}, Lemma 4.6)",
 		Header: []string{"N", "S", "S(2N)/S(N)", "S/N^1.585", "S(failure-free)"},
 	}
+	type point struct {
+		got, ff pram.Metrics
+	}
+	points := Points(len(sizes), func(i int) point {
+		n := sizes[i]
+		algX := writeall.NewX()
+		return point{
+			got: runWA(pram.Config{N: n, P: n}, algX, writeall.NewPostOrder(algX.Layout(n, n))),
+			ff:  runWA(pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{}),
+		}
+	})
 	var xs, ys, ffys []float64
 	var prev int64
-	for _, n := range sizes {
-		algX := writeall.NewX()
-		got := runWA(pram.Config{N: n, P: n}, algX, writeall.NewPostOrder(algX.Layout(n, n)))
-		ff := runWA(pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{})
+	for i, pt := range points {
+		n, got, ff := sizes[i], pt.got, pt.ff
 		ratio := "-"
 		if prev > 0 {
 			ratio = f2(float64(got.S()) / float64(prev))
@@ -281,10 +341,18 @@ func E7XProcessorSweep(s Scale) []Table {
 		Claim:  "Theorem 4.7: S = O(N * P^{log 1.5 + eps}), log 1.5 ~ 0.585",
 		Header: []string{"P", "S", "S/N", "S/(N*P^0.585)"},
 	}
-	var xs, ys []float64
+	var ps []int
 	for p := 4; p <= n; p *= 4 {
+		ps = append(ps, p)
+	}
+	points := Points(len(ps), func(i int) pram.Metrics {
+		p := ps[i]
 		algX := writeall.NewX()
-		got := runWA(pram.Config{N: n, P: p}, algX, writeall.NewPostOrder(algX.Layout(n, p)))
+		return runWA(pram.Config{N: n, P: p}, algX, writeall.NewPostOrder(algX.Layout(n, p)))
+	})
+	var xs, ys []float64
+	for i, got := range points {
+		p := ps[i]
 		t.Rows = append(t.Rows, []string{
 			itoa(int64(p)), itoa(got.S()),
 			f2(float64(got.S()) / float64(n)),
@@ -365,11 +433,15 @@ func E13XFailStop(s Scale) []Table {
 		Claim:  "Section 5 conjecture: S = O(N log N log log N) without restarts",
 		Header: []string{"N", "S", "S/(N log N)", "S/(N log N log log N)"},
 	}
-	var xs, ys []float64
-	for _, n := range sizes {
+	points := Points(len(sizes), func(i int) pram.Metrics {
+		n := sizes[i]
 		adv := adversary.NewHalving()
 		adv.NoRestarts = true
-		got := runWA(pram.Config{N: n, P: n}, writeall.NewX(), adv)
+		return runWA(pram.Config{N: n, P: n}, writeall.NewX(), adv)
+	})
+	var xs, ys []float64
+	for i, got := range points {
+		n := sizes[i]
 		lln := math.Log2(log2(n))
 		t.Rows = append(t.Rows, []string{
 			itoa(int64(n)), itoa(got.S()),

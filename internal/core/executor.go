@@ -235,7 +235,7 @@ var _ pram.Processor = (*execCombinedProc)(nil)
 
 // Done implements pram.Algorithm: the computation is complete once the
 // phase counter passes the last COMMIT phase.
-func (e *Executor) Done(mem *pram.Memory, n, p int) bool {
+func (e *Executor) Done(mem pram.MemoryView, n, p int) bool {
 	return mem.Load(e.lay.phase) > pram.Word(2*e.prog.Steps())
 }
 

@@ -106,7 +106,7 @@ func (k *phaseBoundaryKiller) Decide(v *pram.View) pram.Decision {
 	var dec pram.Decision
 	for pid, in := range v.Intents {
 		if in == nil {
-			if v.States[pid] == pram.Dead {
+			if v.States.At(pid) == pram.Dead {
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 			continue

@@ -61,20 +61,23 @@ type WriteOp struct {
 }
 
 // View is the adversary's complete, read-only view of the machine at the
-// start of a tick.
+// start of a tick. It is built from the same immutable MemoryView and
+// StateView handed to update cycles: an adversary physically cannot
+// mutate machine state, which is what keeps the parallel tick kernel
+// race-free.
 type View struct {
 	// Tick is the global clock value.
 	Tick int
 	// N and P are the input size and processor count.
 	N, P int
-	// Mem is the shared memory as of the start of the tick. Adversaries
-	// must not modify it.
-	Mem *Memory
+	// Mem is the shared memory as of the start of the tick.
+	Mem MemoryView
 	// States holds each processor's liveness.
-	States []ProcState
+	States StateView
 	// Intents holds, for each alive processor, the cycle it is about to
 	// execute; entries for dead, halted, or (under a Scheduler)
-	// unscheduled processors are nil.
+	// unscheduled processors are nil. Adversaries must not modify the
+	// intents.
 	Intents []*Intent
 	// Alive is the number of processors in state Alive.
 	Alive int

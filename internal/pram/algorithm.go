@@ -33,8 +33,9 @@ type Algorithm interface {
 	NewProcessor(pid, n, p int) Processor
 
 	// Done reports whether the algorithm's task is complete. The machine
-	// polls it once per tick to terminate runs.
-	Done(mem *Memory, n, p int) bool
+	// polls it once per tick, through the read-only view, to terminate
+	// runs.
+	Done(mem MemoryView, n, p int) bool
 }
 
 // Ctx carries one processor's view of the machine during a single update
@@ -47,7 +48,7 @@ type Ctx struct {
 	p    int
 	tick int
 
-	mem       *Memory
+	mem       MemoryView
 	reads     int
 	readAddrs []int
 	writes    []bufferedWrite

@@ -1,0 +1,106 @@
+package pram
+
+import "fmt"
+
+// Kernel selects the tick execution engine of a Machine. Both kernels are
+// bit-identical in every observable: metrics, final memory, adversary
+// views, sink event streams, and errors. The attempt phase of a tick -
+// each live processor's reads, private compute, and buffered writes - is
+// side-effect-free with respect to shared state (cycles read an immutable
+// pre-tick MemoryView and buffer their writes), which is what lets the
+// parallel kernel fan it across workers. Everything semantically ordered
+// - write-policy resolution, failure application, stable-counter commits,
+// sink events - runs serially in PID order under either kernel.
+type Kernel int
+
+const (
+	// SerialKernel attempts every cycle in PID order on the calling
+	// goroutine. It is the default and has no coordination overhead.
+	SerialKernel Kernel = iota + 1
+	// ParallelKernel fans the attempt phase across a pool of worker
+	// goroutines over PID shards (Config.Workers of them). Worthwhile
+	// when P is large enough that cycle execution dominates the
+	// per-tick coordination cost (roughly P >= 1024).
+	ParallelKernel
+)
+
+// String implements fmt.Stringer for Kernel.
+func (k Kernel) String() string {
+	switch k {
+	case SerialKernel:
+		return "serial"
+	case ParallelKernel:
+		return "parallel"
+	default:
+		return "invalid"
+	}
+}
+
+// tickKernel executes the attempt phase of one tick: for every alive,
+// scheduled processor it runs one update cycle against the pre-tick
+// memory view and publishes the resulting intent in m.intents (nil for
+// processors that did not attempt). It returns the number of attempts.
+//
+// Cycle validation (budget checks, metrics maxima) is NOT part of the
+// kernel: the machine validates serially in PID order afterwards, so both
+// kernels report the same first validation error and identical metrics.
+type tickKernel interface {
+	attempt(m *Machine) int
+}
+
+// serialKernel is the direct lock-step implementation.
+type serialKernel struct{}
+
+func (serialKernel) attempt(m *Machine) int {
+	alive := 0
+	for pid := 0; pid < m.cfg.P; pid++ {
+		m.intents[pid] = nil
+		if m.states[pid] != Alive || !m.runnable(pid) {
+			continue
+		}
+		m.attemptOne(pid)
+		alive++
+	}
+	return alive
+}
+
+// attemptOne executes processor pid's update cycle against the tick-start
+// memory and publishes its intent. Writes and stable updates are
+// buffered, so execution order cannot matter; private-state mutation is
+// harmless because any killed processor loses private state. It touches
+// only per-PID machine state (ctxs[pid], procs[pid], intents slot pid)
+// plus read-only shared state, which is what makes it safe to run from
+// parallel workers.
+func (m *Machine) attemptOne(pid int) {
+	ctx := m.ctxs[pid]
+	ctx.reset(m.tick, m.stables[pid])
+	status := m.procs[pid].Cycle(ctx)
+	in := &m.intentsB[pid]
+	in.Reads = ctx.readAddrs
+	in.Writes = in.Writes[:0]
+	for _, w := range ctx.writes {
+		in.Writes = append(in.Writes, WriteOp{Addr: w.addr, Val: w.val})
+	}
+	in.Halts = status == Halt
+	in.Snapshot = ctx.snapshots > 0
+	m.intents[pid] = in
+}
+
+// runnable reports whether pid is scheduled this tick (m.sched is the
+// schedule resolved at the top of the tick; nil means everyone runs).
+func (m *Machine) runnable(pid int) bool {
+	return m.sched == nil || m.sched[pid]
+}
+
+// newKernel builds the configured tick kernel. workers is the normalized
+// worker count (only used by ParallelKernel).
+func newKernel(kind Kernel, workers int) (tickKernel, error) {
+	switch kind {
+	case SerialKernel:
+		return serialKernel{}, nil
+	case ParallelKernel:
+		return newParallelKernel(workers), nil
+	default:
+		return nil, fmt.Errorf("pram: invalid kernel %d", kind)
+	}
+}

@@ -1,0 +1,127 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelKernel fans the attempt phase across a persistent pool of
+// worker goroutines. Workers claim fixed-size PID shards from an atomic
+// cursor; each PID is attempted by exactly one worker, and every
+// per-attempt effect lands in that PID's own slots (ctxs[pid],
+// intents[pid]), so the phase is data-race-free by construction. Shard
+// claiming order does not affect results: attempts read only the
+// immutable pre-tick MemoryView and the tick-start states/schedule.
+//
+// The pool is persistent (started on first use) so that steady-state
+// ticks allocate nothing; an idle machine parks its workers on a channel
+// receive. Machine.Close releases them; a finalizer set in New covers
+// machines that are simply dropped.
+type parallelKernel struct {
+	pool *workerPool
+}
+
+// workerPool carries the per-tick fan-out state. It deliberately holds
+// the *Machine only for the duration of one attempt phase (set before the
+// workers are released, cleared after they drain) so the pool keeps no
+// path to the machine while idle and the machine's finalizer can run.
+type workerPool struct {
+	workers int
+	chunk   int
+
+	m      *Machine
+	cursor atomic.Int64
+	limit  int
+
+	start   chan struct{}
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	started bool
+}
+
+// parallelChunk is the shard granularity: small enough to balance load
+// across workers when cycles are uneven, large enough to amortize the
+// atomic claim.
+const parallelChunk = 64
+
+func newParallelKernel(workers int) *parallelKernel {
+	return &parallelKernel{pool: &workerPool{
+		workers: workers,
+		chunk:   parallelChunk,
+		start:   make(chan struct{}, workers),
+		stop:    make(chan struct{}),
+	}}
+}
+
+// normalWorkers resolves Config.Workers: non-positive means GOMAXPROCS,
+// and more workers than processors is pointless.
+func normalWorkers(cfgWorkers, p int) int {
+	w := cfgWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return min(w, p)
+}
+
+func (k *parallelKernel) attempt(m *Machine) int {
+	p := k.pool
+	if !p.started {
+		p.started = true
+		for i := 0; i < p.workers; i++ {
+			go p.run()
+		}
+	}
+	p.m = m
+	p.limit = m.cfg.P
+	p.cursor.Store(0)
+	p.wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		p.start <- struct{}{}
+	}
+	p.wg.Wait()
+	p.m = nil
+
+	alive := 0
+	for _, in := range m.intents {
+		if in != nil {
+			alive++
+		}
+	}
+	return alive
+}
+
+// run is one worker's loop: park until a tick is published, drain shards,
+// report done. Exits when the pool is closed.
+func (p *workerPool) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.start:
+		}
+		m := p.m
+		for {
+			hi := int(p.cursor.Add(int64(p.chunk)))
+			lo := hi - p.chunk
+			if lo >= p.limit {
+				break
+			}
+			hi = min(hi, p.limit)
+			for pid := lo; pid < hi; pid++ {
+				m.intents[pid] = nil
+				if m.states[pid] != Alive || !m.runnable(pid) {
+					continue
+				}
+				m.attemptOne(pid)
+			}
+		}
+		p.wg.Done()
+	}
+}
+
+// close releases the pool's workers. Idempotent via the machine's
+// closeOnce.
+func (k *parallelKernel) close() {
+	close(k.pool.stop)
+}

@@ -3,7 +3,9 @@ package pram
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 )
 
 // LegalityMode selects how the machine handles an adversary decision that
@@ -43,36 +45,30 @@ type Config struct {
 	// one PRAM instruction inside a leaf visit expands the update cycle
 	// by the paper's fixed fetch/decode/execute constant.
 	CycleReadBudget, CycleWriteBudget int
-	// Tracer, if non-nil, receives one TickStats after every tick - the
-	// per-tick work/liveness profile behind the time-series outputs of
-	// cmd/writeall.
-	Tracer func(TickStats)
-	// TrackPerProcessor makes the machine count, per processor, completed
-	// cycles (Machine.ProcessorWork) and committed writes into the input
-	// region [0, N) (Machine.ProcessorProgress), for load-balance
-	// analyses.
-	TrackPerProcessor bool
+	// Kernel selects the tick execution engine; the zero value means
+	// SerialKernel. Both kernels are observationally identical; see the
+	// Kernel type for when ParallelKernel pays off.
+	Kernel Kernel
+	// Workers is the ParallelKernel worker count; non-positive means
+	// GOMAXPROCS. Ignored by SerialKernel.
+	Workers int
+	// Sink, if non-nil, receives the machine's instrumentation stream:
+	// one CycleEvent per attempted update cycle, one TickEvent per tick,
+	// and one RunEvent at termination. All sink methods are invoked from
+	// the serial commit phase in deterministic order, under either
+	// kernel.
+	Sink Sink
 	// Scheduler, if non-nil, selects which live processors execute a
 	// cycle at each tick; unscheduled processors idle (uncharged,
 	// unfailed). It models the asynchronous PRAMs the paper's
 	// introduction situates itself against ([CZ 89], [Gib 89], [Nis 90],
 	// [MSP 90]): an adversarial schedule is a deterministic form of
 	// asynchrony. If the schedule leaves no live processor runnable, the
-	// machine runs all of them (a schedule cannot stop the clock).
+	// machine runs all of them (a schedule cannot stop the clock). The
+	// machine resolves the schedule once per tick on the stepping
+	// goroutine, so the function is never called concurrently, under
+	// either kernel.
 	Scheduler func(tick, pid int) bool
-}
-
-// TickStats is the per-tick profile delivered to Config.Tracer.
-type TickStats struct {
-	// Tick is the clock value the stats describe (before the tick ran).
-	Tick int
-	// Alive is the number of processors that attempted a cycle.
-	Alive int
-	// Completed is the number of cycles that completed this tick (the
-	// tick's contribution to S).
-	Completed int
-	// Failures and Restarts are this tick's event counts.
-	Failures, Restarts int
 }
 
 // DefaultMaxTicks bounds runs whose Config does not set MaxTicks.
@@ -105,9 +101,11 @@ var (
 
 // Machine simulates one run of an Algorithm against an Adversary.
 type Machine struct {
-	cfg Config
-	alg Algorithm
-	adv Adversary
+	cfg  Config
+	alg  Algorithm
+	adv  Adversary
+	kern tickKernel
+	sink Sink
 
 	mem     *Memory
 	states  []ProcState
@@ -115,23 +113,26 @@ type Machine struct {
 	stables []Word
 	ctxs    []*Ctx
 
-	tick         int
-	metrics      Metrics
-	procWork     []int64
-	procProgress []int64
+	tick    int
+	metrics Metrics
+	ended   bool
 
-	// per-tick scratch
+	// per-tick scratch, reused across ticks by both kernels
 	intents  []*Intent
 	intentsB []Intent
 	pending  []pendingCommit
 	view     View
+	sched    []bool
 	writeBuf []taggedWrite
 	readBuf  []int
+
+	closeOnce sync.Once
 }
 
 type pendingCommit struct {
 	pid       int
 	writes    []bufferedWrite // prefix to commit
+	fail      FailPoint
 	stableSet bool
 	stable    Word
 	halts     bool
@@ -153,10 +154,19 @@ func New(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
 	if cfg.Legality == 0 {
 		cfg.Legality = VetoSpare
 	}
+	if cfg.Kernel == 0 {
+		cfg.Kernel = SerialKernel
+	}
+	kern, err := newKernel(cfg.Kernel, normalWorkers(cfg.Workers, cfg.P))
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		cfg:      cfg,
 		alg:      alg,
 		adv:      adv,
+		kern:     kern,
+		sink:     cfg.Sink,
 		mem:      NewMemory(alg.MemorySize(cfg.N, cfg.P)),
 		states:   make([]ProcState, cfg.P),
 		procs:    make([]Processor, cfg.P),
@@ -166,40 +176,37 @@ func New(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
 		intentsB: make([]Intent, cfg.P),
 		pending:  make([]pendingCommit, 0, cfg.P),
 	}
+	if cfg.Scheduler != nil {
+		m.sched = make([]bool, cfg.P)
+	}
 	alg.Setup(m.mem, cfg.N, cfg.P)
 	for pid := 0; pid < cfg.P; pid++ {
 		m.states[pid] = Alive
 		m.procs[pid] = alg.NewProcessor(pid, cfg.N, cfg.P)
-		m.ctxs[pid] = &Ctx{pid: pid, n: cfg.N, p: cfg.P, mem: m.mem}
-	}
-	if cfg.TrackPerProcessor {
-		m.procWork = make([]int64, cfg.P)
-		m.procProgress = make([]int64, cfg.P)
+		m.ctxs[pid] = &Ctx{pid: pid, n: cfg.N, p: cfg.P, mem: m.mem.View()}
 	}
 	m.metrics = Metrics{N: cfg.N, P: cfg.P}
+	if pk, ok := kern.(*parallelKernel); ok {
+		// Reclaim the worker pool of machines that are dropped without
+		// Close. The pool keeps no reference back to the machine while
+		// idle, so the finalizer can fire.
+		runtime.SetFinalizer(m, func(m *Machine) { pk.close() })
+	}
 	return m, nil
 }
 
-// ProcessorWork returns each processor's completed-cycle count, or nil if
-// Config.TrackPerProcessor was not set. The returned slice is a copy.
-func (m *Machine) ProcessorWork() []int64 {
-	return copyCounts(m.procWork)
-}
-
-// ProcessorProgress returns each processor's count of committed writes
-// into the input region [0, N) - its direct contributions to the task -
-// or nil if Config.TrackPerProcessor was not set.
-func (m *Machine) ProcessorProgress() []int64 {
-	return copyCounts(m.procProgress)
-}
-
-func copyCounts(src []int64) []int64 {
-	if src == nil {
-		return nil
-	}
-	out := make([]int64, len(src))
-	copy(out, src)
-	return out
+// Close releases the resources of a ParallelKernel machine (its worker
+// pool); it is a no-op for serial machines. Close must not be called
+// concurrently with Step or Run. Machines that are simply dropped are
+// reclaimed by a finalizer, so calling Close is optional but makes
+// cleanup deterministic (e.g. in tests that build many machines).
+func (m *Machine) Close() {
+	m.closeOnce.Do(func() {
+		if pk, ok := m.kern.(*parallelKernel); ok {
+			runtime.SetFinalizer(m, nil)
+			pk.close()
+		}
+	})
 }
 
 // Memory exposes the machine's shared memory, e.g. for inspecting results.
@@ -232,56 +239,48 @@ func (m *Machine) Run() (Metrics, error) {
 // algorithm's Done predicate holds (checked before executing a tick, so a
 // completed task does no further work).
 func (m *Machine) Step() (bool, error) {
-	if m.alg.Done(m.mem, m.cfg.N, m.cfg.P) {
+	if m.alg.Done(m.mem.View(), m.cfg.N, m.cfg.P) {
+		m.emitRunDone(nil)
 		return true, nil
 	}
 	if m.tick >= m.cfg.MaxTicks {
-		return false, fmt.Errorf("%w (tick=%d, algorithm=%s, adversary=%s)",
-			ErrTickLimit, m.tick, m.alg.Name(), m.adv.Name())
+		return false, m.fail(fmt.Errorf("%w (tick=%d, algorithm=%s, adversary=%s)",
+			ErrTickLimit, m.tick, m.alg.Name(), m.adv.Name()))
 	}
 	before := m.metrics
 
-	// Phase 1: compute every live processor's intent by executing its
-	// cycle against the tick-start memory. Writes and stable updates are
-	// buffered, so execution order cannot matter; private-state mutation
-	// is harmless because any killed processor loses private state.
-	scheduled := m.scheduledSet()
-	alive := 0
-	for pid := 0; pid < m.cfg.P; pid++ {
-		m.intents[pid] = nil
-		if m.states[pid] != Alive || !scheduled(pid) {
-			continue
-		}
-		alive++
-		ctx := m.ctxs[pid]
-		ctx.reset(m.tick, m.stables[pid])
-		status := m.procs[pid].Cycle(ctx)
-		if err := m.validateCycle(ctx); err != nil {
-			return false, err
-		}
-		in := &m.intentsB[pid]
-		in.Reads = ctx.readAddrs
-		in.Writes = in.Writes[:0]
-		for _, w := range ctx.writes {
-			in.Writes = append(in.Writes, WriteOp{Addr: w.addr, Val: w.val})
-		}
-		in.Halts = status == Halt
-		in.Snapshot = ctx.snapshots > 0
-		m.intents[pid] = in
-	}
+	// Phase 1 (the kernel's attempt phase): compute every live, scheduled
+	// processor's intent by executing its cycle against the tick-start
+	// memory view. The serial kernel walks PIDs in order; the parallel
+	// kernel fans PID shards across workers. Both publish identical
+	// intents because attempts are isolated: reads observe the immutable
+	// pre-tick view, writes are buffered per processor.
+	m.resolveSchedule()
+	alive := m.kern.attempt(m)
 	if alive == 0 {
 		// No processor can complete a cycle; the adversary must restart
 		// someone. Give it the chance, then enforce liveness.
 		return m.deadTick()
 	}
+	// Validate cycles serially in PID order so that budget-violation
+	// errors and the metrics maxima are kernel-independent.
+	for pid := 0; pid < m.cfg.P; pid++ {
+		if m.intents[pid] == nil {
+			continue
+		}
+		if err := m.validateCycle(m.ctxs[pid]); err != nil {
+			return false, m.fail(err)
+		}
+	}
 
-	// Phase 2: the adversary moves.
+	// Phase 2: the adversary moves. It sees the same immutable pre-tick
+	// views the cycles saw.
 	m.view = View{
 		Tick:    m.tick,
 		N:       m.cfg.N,
 		P:       m.cfg.P,
-		Mem:     m.mem,
-		States:  m.states,
+		Mem:     m.mem.View(),
+		States:  StateView{states: m.states},
 		Intents: m.intents,
 		Alive:   alive,
 	}
@@ -297,8 +296,8 @@ func (m *Machine) Step() (bool, error) {
 	}
 	if survivors == 0 {
 		if m.cfg.Legality == ErrorOnIllegal {
-			return false, fmt.Errorf("%w at tick %d (adversary=%s)",
-				ErrIllegalAdversary, m.tick, m.adv.Name())
+			return false, m.fail(fmt.Errorf("%w at tick %d (adversary=%s)",
+				ErrIllegalAdversary, m.tick, m.adv.Name()))
 		}
 		m.spareOne(dec.Failures)
 		m.metrics.Vetoes++
@@ -324,7 +323,7 @@ func (m *Machine) Step() (bool, error) {
 			}
 			continue
 		}
-		pc := pendingCommit{pid: pid}
+		pc := pendingCommit{pid: pid, fail: fp}
 		switch fp {
 		case NoFailure:
 			pc.writes = ctx.writes
@@ -343,8 +342,8 @@ func (m *Machine) Step() (bool, error) {
 				pc.writes = ctx.writes[:1]
 			}
 		default:
-			return false, fmt.Errorf("pram: adversary %s returned invalid fail point %d for pid %d",
-				m.adv.Name(), fp, pid)
+			return false, m.fail(fmt.Errorf("pram: adversary %s returned invalid fail point %d for pid %d",
+				m.adv.Name(), fp, pid))
 		}
 		if fp != NoFailure {
 			m.states[pid] = Dead
@@ -357,27 +356,18 @@ func (m *Machine) Step() (bool, error) {
 		m.pending = append(m.pending, pc)
 	}
 
-	// Phase 5: resolve and commit all surviving writes synchronously.
+	// Phase 5: resolve and commit all surviving writes synchronously,
+	// serially in PID order - the semantics-critical phase that both
+	// kernels share.
 	if err := m.commitWrites(); err != nil {
-		return false, err
+		return false, m.fail(err)
 	}
-	if m.procProgress != nil {
-		for _, pc := range m.pending {
-			for _, w := range pc.writes { // exactly the committed prefix
-				if w.addr < m.cfg.N {
-					m.procProgress[pc.pid]++
-				}
-			}
-		}
-	}
-	for _, pc := range m.pending {
+	for i := range m.pending {
+		pc := &m.pending[i]
 		if !pc.completed {
 			continue
 		}
 		m.metrics.Completed++
-		if m.procWork != nil {
-			m.procWork[pc.pid]++
-		}
 		if pc.stableSet {
 			m.stables[pc.pid] = pc.stable
 		}
@@ -386,6 +376,7 @@ func (m *Machine) Step() (bool, error) {
 			m.procs[pc.pid] = nil
 		}
 	}
+	m.emitCycleEvents()
 
 	// Phase 6: restarts take effect for the next tick. Restarted
 	// processors know only their PID and their stable action counter.
@@ -393,43 +384,88 @@ func (m *Machine) Step() (bool, error) {
 
 	m.tick++
 	m.metrics.Ticks = m.tick
-	m.emitTickStats(alive, before)
-	if m.alg.Done(m.mem, m.cfg.N, m.cfg.P) {
+	m.emitTick(alive, before)
+	if m.alg.Done(m.mem.View(), m.cfg.N, m.cfg.P) {
+		m.emitRunDone(nil)
 		return true, nil
 	}
 	if m.allHalted() {
-		return false, fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name())
+		return false, m.fail(fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name()))
 	}
 	return false, nil
 }
 
-// scheduledSet resolves this tick's runnable predicate: the configured
-// scheduler, unless it would idle every live processor, in which case
-// everyone runs.
-func (m *Machine) scheduledSet() func(pid int) bool {
+// fail routes a terminal error through the run-level sink event exactly
+// once.
+func (m *Machine) fail(err error) error {
+	m.emitRunDone(err)
+	return err
+}
+
+func (m *Machine) emitRunDone(err error) {
+	if m.sink == nil || m.ended {
+		return
+	}
+	m.ended = true
+	m.sink.RunDone(RunEvent{Metrics: m.metrics, Err: err})
+}
+
+// emitCycleEvents reports every attempted cycle's outcome, in PID order,
+// after the tick's writes have committed.
+func (m *Machine) emitCycleEvents() {
+	if m.sink == nil {
+		return
+	}
+	for i := range m.pending {
+		pc := &m.pending[i]
+		arrayWrites := 0
+		for _, w := range pc.writes { // exactly the committed prefix
+			if w.addr < m.cfg.N {
+				arrayWrites++
+			}
+		}
+		m.sink.CycleDone(CycleEvent{
+			Tick:        m.tick,
+			PID:         pc.pid,
+			Fail:        pc.fail,
+			Started:     pc.started,
+			Completed:   pc.completed,
+			Writes:      len(pc.writes),
+			ArrayWrites: arrayWrites,
+			Halted:      pc.completed && pc.halts,
+		})
+	}
+}
+
+// resolveSchedule fills m.sched with this tick's runnable set: the
+// configured scheduler, unless it would idle every live processor, in
+// which case everyone runs. With no scheduler m.sched stays nil and
+// runnable() is constant-true. The scheduler function is only ever called
+// here, on the stepping goroutine.
+func (m *Machine) resolveSchedule() {
 	if m.cfg.Scheduler == nil {
-		return func(int) bool { return true }
+		return
 	}
 	any := false
 	for pid := 0; pid < m.cfg.P; pid++ {
-		if m.states[pid] == Alive && m.cfg.Scheduler(m.tick, pid) {
+		m.sched[pid] = m.cfg.Scheduler(m.tick, pid)
+		if m.sched[pid] && m.states[pid] == Alive {
 			any = true
-			break
 		}
 	}
 	if !any {
-		return func(int) bool { return true }
+		for pid := range m.sched {
+			m.sched[pid] = true
+		}
 	}
-	tick := m.tick
-	return func(pid int) bool { return m.cfg.Scheduler(tick, pid) }
 }
 
-// emitTickStats delivers the per-tick profile to the configured tracer.
-func (m *Machine) emitTickStats(alive int, before Metrics) {
-	if m.cfg.Tracer == nil {
+// emitTick delivers the per-tick profile to the sink.
+func (m *Machine) emitTick(alive int, before Metrics) {
+	if m.sink == nil {
 		return
 	}
-	m.cfg.Tracer(TickStats{
+	m.sink.TickDone(TickEvent{
 		Tick:      m.tick - 1,
 		Alive:     alive,
 		Completed: int(m.metrics.Completed - before.Completed),
@@ -447,8 +483,8 @@ func (m *Machine) deadTick() (bool, error) {
 		Tick:    m.tick,
 		N:       m.cfg.N,
 		P:       m.cfg.P,
-		Mem:     m.mem,
-		States:  m.states,
+		Mem:     m.mem.View(),
+		States:  StateView{states: m.states},
 		Intents: m.intents,
 	}
 	dec := m.adv.Decide(&m.view)
@@ -460,8 +496,8 @@ func (m *Machine) deadTick() (bool, error) {
 	}
 	if !restarted {
 		if m.cfg.Legality == ErrorOnIllegal {
-			return false, fmt.Errorf("%w: no alive processors and no restart at tick %d",
-				ErrIllegalAdversary, m.tick)
+			return false, m.fail(fmt.Errorf("%w: no alive processors and no restart at tick %d",
+				ErrIllegalAdversary, m.tick))
 		}
 		for pid := 0; pid < m.cfg.P; pid++ {
 			if m.states[pid] == Dead {
@@ -474,9 +510,9 @@ func (m *Machine) deadTick() (bool, error) {
 	m.applyRestarts(dec.Restarts)
 	m.tick++
 	m.metrics.Ticks = m.tick
-	m.emitTickStats(0, before)
+	m.emitTick(0, before)
 	if m.allHalted() {
-		return false, fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name())
+		return false, m.fail(fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name()))
 	}
 	return false, nil
 }
@@ -549,8 +585,9 @@ type taggedWrite struct {
 // commitWrites applies all pending writes of the tick under the configured
 // policy. Within a tick all writes are simultaneous, so conflict
 // resolution considers them together. Writes are gathered into a reusable
-// buffer and sorted by (addr, pid) to find conflict groups without
-// allocating per tick.
+// buffer and stably sorted by (addr, pid) to find conflict groups without
+// allocating per tick; stability keeps a single processor's same-cell
+// writes in program order.
 func (m *Machine) commitWrites() error {
 	m.writeBuf = m.writeBuf[:0]
 	for _, pc := range m.pending {
@@ -567,12 +604,11 @@ func (m *Machine) commitWrites() error {
 		}
 	}
 
-	sort.Slice(m.writeBuf, func(i, j int) bool {
-		a, b := m.writeBuf[i], m.writeBuf[j]
+	slices.SortStableFunc(m.writeBuf, func(a, b taggedWrite) int {
 		if a.addr != b.addr {
-			return a.addr < b.addr
+			return a.addr - b.addr
 		}
-		return a.pid < b.pid
+		return a.pid - b.pid
 	})
 
 	for i := 0; i < len(m.writeBuf); {
@@ -617,7 +653,7 @@ func (m *Machine) checkExclusiveReads() error {
 		}
 		m.readBuf = append(m.readBuf, m.intents[pc.pid].Reads...)
 	}
-	sort.Ints(m.readBuf)
+	slices.Sort(m.readBuf)
 	for i := 1; i < len(m.readBuf); i++ {
 		if m.readBuf[i] == m.readBuf[i-1] {
 			return fmt.Errorf("%w: concurrent read of cell %d at tick %d",

@@ -12,7 +12,7 @@ type testAlg struct {
 	memSize func(n, p int) int
 	setup   func(mem *Memory, n, p int)
 	cycle   func(pid int, ctx *Ctx) Status
-	done    func(mem *Memory, n, p int) bool
+	done    func(mem MemoryView, n, p int) bool
 }
 
 func (a *testAlg) Name() string { return a.name }
@@ -34,7 +34,7 @@ func (a *testAlg) NewProcessor(pid, n, p int) Processor {
 	return &testProc{pid: pid, cycle: a.cycle}
 }
 
-func (a *testAlg) Done(mem *Memory, n, p int) bool {
+func (a *testAlg) Done(mem MemoryView, n, p int) bool {
 	if a.done == nil {
 		return false
 	}
@@ -71,7 +71,7 @@ func oneShotWriter() *testAlg {
 			ctx.Write(pid, 1)
 			return Halt
 		},
-		done: func(mem *Memory, n, p int) bool {
+		done: func(mem MemoryView, n, p int) bool {
 			for i := 0; i < n; i++ {
 				if mem.Load(i) == 0 {
 					return false
@@ -288,11 +288,11 @@ func TestStableCounterSurvivesFailure(t *testing.T) {
 	}
 	adv := &funcAdversary{name: "t", f: func(v *View) Decision {
 		var dec Decision
-		if v.Tick%3 == 2 && v.States[0] == Alive {
+		if v.Tick%3 == 2 && v.States.At(0) == Alive {
 			dec.Failures = map[int]FailPoint{0: FailAfterReads}
 		}
-		for pid, st := range v.States {
-			if st == Dead {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			if v.States.At(pid) == Dead {
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 		}
@@ -335,7 +335,7 @@ func TestStableUpdateDiscardedOnMidCycleFailure(t *testing.T) {
 			ctx.Write(0, ctx.Stable()+1)
 			return Continue
 		},
-		done: func(mem *Memory, n, p int) bool { return mem.Load(0) != 0 },
+		done: func(mem MemoryView, n, p int) bool { return mem.Load(0) != 0 },
 	}
 	m := mustMachine(t, Config{N: 1, P: 2}, alg, adv)
 	if _, err := m.Run(); err != nil {
@@ -352,10 +352,11 @@ func TestLivenessVetoSparesOneProcessor(t *testing.T) {
 	const n = 4
 	killAll := &funcAdversary{name: "kill-all", f: func(v *View) Decision {
 		dec := Decision{Failures: make(map[int]FailPoint)}
-		for pid, st := range v.States {
-			if st == Alive {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			switch v.States.At(pid) {
+			case Alive:
 				dec.Failures[pid] = FailBeforeReads
-			} else if st == Dead {
+			case Dead:
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 		}
@@ -377,8 +378,8 @@ func TestLivenessVetoSparesOneProcessor(t *testing.T) {
 func TestLivenessErrorModeRejectsKillAll(t *testing.T) {
 	killAll := &funcAdversary{name: "kill-all", f: func(v *View) Decision {
 		dec := Decision{Failures: make(map[int]FailPoint)}
-		for pid, st := range v.States {
-			if st == Alive {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			if v.States.At(pid) == Alive {
 				dec.Failures[pid] = FailBeforeReads
 			}
 		}
@@ -397,7 +398,7 @@ func TestCommonPolicyAcceptsAgreeingWriters(t *testing.T) {
 			ctx.Write(0, 7)
 			return Halt
 		},
-		done: func(mem *Memory, n, p int) bool { return mem.Load(0) == 7 },
+		done: func(mem MemoryView, n, p int) bool { return mem.Load(0) == 7 },
 	}
 	m := mustMachine(t, Config{N: 1, P: 8}, alg, &funcAdversary{})
 	if _, err := m.Run(); err != nil {
@@ -428,7 +429,7 @@ func TestArbitraryAndPriorityPickLowestPID(t *testing.T) {
 					ctx.Write(0, Word(pid+10))
 					return Halt
 				},
-				done: func(mem *Memory, n, p int) bool { return mem.Load(0) != 0 },
+				done: func(mem MemoryView, n, p int) bool { return mem.Load(0) != 0 },
 			}
 			m := mustMachine(t, Config{N: 1, P: 4, Policy: policy}, alg, &funcAdversary{})
 			if _, err := m.Run(); err != nil {
@@ -511,7 +512,7 @@ func TestSnapshotRequiresConfig(t *testing.T) {
 			ctx.Write(0, 1)
 			return Halt
 		},
-		done: func(mem *Memory, n, p int) bool { return mem.Load(0) != 0 },
+		done: func(mem MemoryView, n, p int) bool { return mem.Load(0) != 0 },
 	}
 	t.Run("disallowed", func(t *testing.T) {
 		m := mustMachine(t, Config{N: 1, P: 1}, alg, &funcAdversary{})
@@ -563,7 +564,7 @@ func TestDeadMachineForceRestartsWhenAdversaryStalls(t *testing.T) {
 	adv := &funcAdversary{name: "stall", f: func(v *View) Decision {
 		if v.Tick == 0 {
 			dec := Decision{Failures: make(map[int]FailPoint)}
-			for pid := range v.States {
+			for pid := 0; pid < v.States.Len(); pid++ {
 				dec.Failures[pid] = FailBeforeReads
 			}
 			return dec
@@ -635,23 +636,23 @@ func TestMetricsIdentities(t *testing.T) {
 	}
 }
 
-func TestTracerReceivesPerTickProfile(t *testing.T) {
+func TestSinkReceivesPerTickProfile(t *testing.T) {
 	const n = 8
-	var stats []TickStats
+	var stats []TickEvent
 	adv := &funcAdversary{name: "t", f: func(v *View) Decision {
 		if v.Tick == 0 {
 			return Decision{Failures: map[int]FailPoint{0: FailBeforeReads}}
 		}
 		return Decision{Restarts: []int{0}}
 	}}
-	cfg := Config{N: n, P: n, Tracer: func(ts TickStats) { stats = append(stats, ts) }}
+	cfg := Config{N: n, P: n, Sink: TickFunc(func(ev TickEvent) { stats = append(stats, ev) })}
 	m := mustMachine(t, cfg, oneShotWriter(), adv)
 	got, err := m.Run()
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if len(stats) != got.Ticks {
-		t.Fatalf("tracer saw %d ticks, metrics say %d", len(stats), got.Ticks)
+		t.Fatalf("sink saw %d ticks, metrics say %d", len(stats), got.Ticks)
 	}
 	var completed, failures, restarts int64
 	for i, ts := range stats {
@@ -663,7 +664,7 @@ func TestTracerReceivesPerTickProfile(t *testing.T) {
 		restarts += int64(ts.Restarts)
 	}
 	if completed != got.Completed || failures != got.Failures || restarts != got.Restarts {
-		t.Errorf("tracer totals (%d,%d,%d) != metrics (%d,%d,%d)",
+		t.Errorf("sink totals (%d,%d,%d) != metrics (%d,%d,%d)",
 			completed, failures, restarts, got.Completed, got.Failures, got.Restarts)
 	}
 	if stats[0].Alive != n {
@@ -719,7 +720,7 @@ func TestSnapshotCountsAsOneInstruction(t *testing.T) {
 			ctx.Write(1, 1)
 			return Halt
 		},
-		done: func(mem *Memory, n, p int) bool { return mem.Load(0) != 0 },
+		done: func(mem MemoryView, n, p int) bool { return mem.Load(0) != 0 },
 	}
 	m := mustMachine(t, Config{N: 2, P: 1, AllowSnapshot: true}, alg, &funcAdversary{})
 	got, err := m.Run()
@@ -844,13 +845,14 @@ func TestPerProcessorTracking(t *testing.T) {
 		},
 		done: oneShotWriter().done,
 	}
-	m := mustMachine(t, Config{N: n, P: p, TrackPerProcessor: true}, alg, &funcAdversary{})
+	tracker := NewProcTracker(p)
+	m := mustMachine(t, Config{N: n, P: p, Sink: tracker}, alg, &funcAdversary{})
 	got, err := m.Run()
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	work := m.ProcessorWork()
-	progress := m.ProcessorProgress()
+	work := tracker.Work()
+	progress := tracker.Progress()
 	var totalWork, totalProgress int64
 	for pid := 0; pid < p; pid++ {
 		totalWork += work[pid]
@@ -860,20 +862,28 @@ func TestPerProcessorTracking(t *testing.T) {
 		}
 	}
 	if totalWork != got.Completed {
-		t.Errorf("sum of ProcessorWork = %d, Completed = %d", totalWork, got.Completed)
+		t.Errorf("sum of tracked work = %d, Completed = %d", totalWork, got.Completed)
 	}
 	if totalProgress != int64(n) {
-		t.Errorf("sum of ProcessorProgress = %d, want %d", totalProgress, n)
+		t.Errorf("sum of tracked progress = %d, want %d", totalProgress, n)
 	}
 }
 
-func TestPerProcessorTrackingDisabledReturnsNil(t *testing.T) {
-	m := mustMachine(t, Config{N: 4, P: 4}, oneShotWriter(), &funcAdversary{})
+func TestProcTrackerReturnsCopies(t *testing.T) {
+	tracker := NewProcTracker(4)
+	m := mustMachine(t, Config{N: 4, P: 4, Sink: tracker}, oneShotWriter(), &funcAdversary{})
 	if _, err := m.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if m.ProcessorWork() != nil || m.ProcessorProgress() != nil {
-		t.Error("tracking disabled but counts returned")
+	work := tracker.Work()
+	work[0] = -99
+	if got := tracker.Work()[0]; got == -99 {
+		t.Error("Work returned internal slice, want a copy")
+	}
+	progress := tracker.Progress()
+	progress[0] = -99
+	if got := tracker.Progress()[0]; got == -99 {
+		t.Error("Progress returned internal slice, want a copy")
 	}
 }
 
@@ -902,7 +912,7 @@ func TestCtxAccessors(t *testing.T) {
 			ctx.Write(0, 1)
 			return Halt
 		},
-		done: func(mem *Memory, n, p int) bool { return mem.Load(0) != 0 },
+		done: func(mem MemoryView, n, p int) bool { return mem.Load(0) != 0 },
 	}
 	m := mustMachine(t, Config{N: 3, P: 1}, alg, &funcAdversary{})
 	if _, err := m.Run(); err != nil {

@@ -25,7 +25,7 @@ func TestSchedulerRoundRobin(t *testing.T) {
 	// model of full asynchrony. The task still completes; work equals
 	// the per-processor shares.
 	const n, p = 12, 3
-	cfg := Config{N: n, P: p, TrackPerProcessor: true,
+	cfg := Config{N: n, P: p,
 		Scheduler: func(tick, pid int) bool { return pid == tick%p }}
 	m := mustMachine(t, cfg, strideAlg(), &funcAdversary{})
 	got, err := m.Run()
@@ -42,7 +42,8 @@ func TestSchedulerRoundRobin(t *testing.T) {
 func TestSchedulerUnscheduledProcessorsIdleUncharged(t *testing.T) {
 	const n, p = 8, 4
 	// pid 0 never runs; others do all the work.
-	cfg := Config{N: n, P: p, TrackPerProcessor: true,
+	tracker := NewProcTracker(p)
+	cfg := Config{N: n, P: p, Sink: tracker,
 		Scheduler: func(tick, pid int) bool { return pid != 0 }}
 	alg := &testAlg{
 		name: "cover",
@@ -66,7 +67,7 @@ func TestSchedulerUnscheduledProcessorsIdleUncharged(t *testing.T) {
 	if _, err := m.Run(); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if w := m.ProcessorWork(); w[0] != 0 {
+	if w := tracker.Work(); w[0] != 0 {
 		t.Errorf("unscheduled pid 0 was charged %d cycles", w[0])
 	}
 }
@@ -141,10 +142,11 @@ func TestSchedulerVetoSparesAnExecutingProcessor(t *testing.T) {
 	sched := func(tick, pid int) bool { return pid < 2 } // only 0,1 run
 	adv := &funcAdversary{name: "t", f: func(v *View) Decision {
 		dec := Decision{Failures: make(map[int]FailPoint)}
-		for pid, st := range v.States {
-			if st == Alive {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			switch v.States.At(pid) {
+			case Alive:
 				dec.Failures[pid] = FailBeforeReads
-			} else if st == Dead {
+			case Dead:
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 		}

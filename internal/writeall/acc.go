@@ -70,7 +70,7 @@ func (a *ACC) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (a *ACC) Done(mem *pram.Memory, n, p int) bool { return a.done(mem, n) }
+func (a *ACC) Done(mem pram.MemoryView, n, p int) bool { return a.done(mem, n) }
 
 var _ pram.Algorithm = (*ACC)(nil)
 

@@ -37,12 +37,12 @@ func (a *PostOrder) Decide(v *pram.View) pram.Decision {
 	}
 
 	var dec pram.Decision
-	for pid, st := range v.States {
+	for pid := 0; pid < v.States.Len(); pid++ {
 		if pid == 0 {
 			continue
 		}
 		pos := int(v.Mem.Load(l.W(pid)))
-		switch st {
+		switch v.States.At(pid) {
 		case pram.Alive:
 			// Park: fail a processor arriving at an unvisited leaf
 			// that processor 0 is not working on.

@@ -61,8 +61,8 @@ func (s *Stalking) Decide(v *pram.View) pram.Decision {
 		}
 	}
 	if !s.noRestart {
-		for pid, st := range v.States {
-			if st == pram.Dead {
+		for pid := 0; pid < v.States.Len(); pid++ {
+			if v.States.At(pid) == pram.Dead {
 				dec.Restarts = append(dec.Restarts, pid)
 			}
 		}

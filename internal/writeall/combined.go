@@ -53,7 +53,7 @@ func (c *Combined) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (c *Combined) Done(mem *pram.Memory, n, p int) bool { return c.done(mem, n) }
+func (c *Combined) Done(mem pram.MemoryView, n, p int) bool { return c.done(mem, n) }
 
 var _ pram.Algorithm = (*Combined)(nil)
 

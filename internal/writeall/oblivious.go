@@ -34,7 +34,7 @@ func (o *Oblivious) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (o *Oblivious) Done(mem *pram.Memory, n, p int) bool { return o.done(mem, n) }
+func (o *Oblivious) Done(mem pram.MemoryView, n, p int) bool { return o.done(mem, n) }
 
 var _ pram.Algorithm = (*Oblivious)(nil)
 

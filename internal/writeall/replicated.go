@@ -33,7 +33,7 @@ func (r *Replicated) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (r *Replicated) Done(mem *pram.Memory, n, p int) bool { return r.done(mem, n) }
+func (r *Replicated) Done(mem pram.MemoryView, n, p int) bool { return r.done(mem, n) }
 
 var _ pram.Algorithm = (*Replicated)(nil)
 

@@ -30,7 +30,7 @@ func (t *Trivial) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (t *Trivial) Done(mem *pram.Memory, n, p int) bool { return t.done(mem, n) }
+func (t *Trivial) Done(mem pram.MemoryView, n, p int) bool { return t.done(mem, n) }
 
 type trivialProc struct {
 	pid, n, p int
@@ -77,7 +77,7 @@ func (s *Sequential) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (s *Sequential) Done(mem *pram.Memory, n, p int) bool { return s.done(mem, n) }
+func (s *Sequential) Done(mem pram.MemoryView, n, p int) bool { return s.done(mem, n) }
 
 type sequentialProc struct {
 	pid, n int

@@ -55,7 +55,7 @@ func (v *V) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (v *V) Done(mem *pram.Memory, n, p int) bool { return v.done(mem, n) }
+func (v *V) Done(mem pram.MemoryView, n, p int) bool { return v.done(mem, n) }
 
 var _ pram.Algorithm = (*V)(nil)
 

@@ -176,7 +176,8 @@ func TestWReEnumerationRebalancesAfterMassFailure(t *testing.T) {
 	for pid := p / 2; pid < p; pid++ {
 		pattern = append(pattern, adversary.Event{Tick: killTick, PID: pid, Kind: adversary.Fail})
 	}
-	m, err := pram.New(pram.Config{N: n, P: p, TrackPerProcessor: true},
+	tracker := pram.NewProcTracker(p)
+	m, err := pram.New(pram.Config{N: n, P: p, Sink: tracker},
 		writeall.NewW(), adversary.NewScheduled(pattern))
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -187,7 +188,7 @@ func TestWReEnumerationRebalancesAfterMassFailure(t *testing.T) {
 	if !writeall.Verify(m.Memory(), n) {
 		t.Fatal("postcondition violated")
 	}
-	progress := m.ProcessorProgress()
+	progress := tracker.Progress()
 	// Survivors (lower half) must share the remaining work within a
 	// small factor of each other: re-enumeration gives them fresh,
 	// contiguous ranks.

@@ -134,7 +134,7 @@ func TestAdversaryViewExposesIntents(t *testing.T) {
 	probe := probeAdversary{onView: func(v *pram.View) {
 		for pid, in := range v.Intents {
 			if in == nil {
-				if v.States[pid] == pram.Alive {
+				if v.States.At(pid) == pram.Alive {
 					sawWrite = false
 				}
 				continue

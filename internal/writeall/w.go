@@ -94,7 +94,7 @@ func (w *W) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (w *W) Done(mem *pram.Memory, n, p int) bool { return w.done(mem, n) }
+func (w *W) Done(mem pram.MemoryView, n, p int) bool { return w.done(mem, n) }
 
 var _ pram.Algorithm = (*W)(nil)
 

@@ -51,7 +51,7 @@ type arrayDone struct {
 
 func (a *arrayDone) reset() { a.cursor = 0 }
 
-func (a *arrayDone) done(mem *pram.Memory, n int) bool {
+func (a *arrayDone) done(mem pram.MemoryView, n int) bool {
 	for a.cursor < n && mem.Load(a.cursor) != 0 {
 		a.cursor++
 	}

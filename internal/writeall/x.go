@@ -77,7 +77,7 @@ func (x *X) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (x *X) Done(mem *pram.Memory, n, p int) bool { return x.done(mem, n) }
+func (x *X) Done(mem pram.MemoryView, n, p int) bool { return x.done(mem, n) }
 
 var _ pram.Algorithm = (*X)(nil)
 

@@ -225,7 +225,7 @@ type fullTerminationX struct {
 	*writeall.X
 }
 
-func (f fullTerminationX) Done(mem *pram.Memory, n, p int) bool {
+func (f fullTerminationX) Done(mem pram.MemoryView, n, p int) bool {
 	lay := f.Layout(n, p)
 	return mem.Load(lay.D(1)) != 0
 }

@@ -41,7 +41,7 @@ func (x *XInPlace) NewProcessor(pid, n, p int) pram.Processor {
 }
 
 // Done implements pram.Algorithm.
-func (x *XInPlace) Done(mem *pram.Memory, n, p int) bool { return x.done(mem, n) }
+func (x *XInPlace) Done(mem pram.MemoryView, n, p int) bool { return x.done(mem, n) }
 
 var _ pram.Algorithm = (*XInPlace)(nil)
 

@@ -1,0 +1,177 @@
+package failstop
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/pram"
+)
+
+// recSink records the full event stream of a run for trace comparison.
+type recSink struct {
+	cycles []pram.CycleEvent
+	ticks  []pram.TickEvent
+	runs   []runRecord
+}
+
+// runRecord flattens RunEvent's error for comparability.
+type runRecord struct {
+	metrics pram.Metrics
+	err     string
+}
+
+func (r *recSink) CycleDone(ev pram.CycleEvent) { r.cycles = append(r.cycles, ev) }
+func (r *recSink) TickDone(ev pram.TickEvent)   { r.ticks = append(r.ticks, ev) }
+func (r *recSink) RunDone(ev pram.RunEvent) {
+	rec := runRecord{metrics: ev.Metrics}
+	if ev.Err != nil {
+		rec.err = ev.Err.Error()
+	}
+	r.runs = append(r.runs, rec)
+}
+
+// kernelRun is one run's complete observable outcome.
+type kernelRun struct {
+	metrics pram.Metrics
+	mem     []Word
+	trace   recSink
+	err     string
+}
+
+func runUnderKernel(t *testing.T, mkAlg func() Algorithm, mkAdv func() Adversary, base Config, kern Kernel, workers int) kernelRun {
+	t.Helper()
+	cfg := base
+	cfg.Kernel = kern
+	cfg.Workers = workers
+	var out kernelRun
+	cfg.Sink = &out.trace
+	m, err := pram.New(cfg, mkAlg(), mkAdv())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+	out.metrics, err = m.Run()
+	if err != nil {
+		out.err = err.Error()
+	}
+	out.mem = m.Memory().CopyInto(nil)
+	return out
+}
+
+// TestKernelEquivalence is the determinism contract of the tick kernels:
+// for every Write-All algorithm x adversary pairing, a serial-kernel run
+// and a parallel-kernel run with identical seeds produce bit-identical
+// metrics, final memory, event traces, and errors. Runs that legitimately
+// do not terminate (V under the rotating thrasher) are compared at the
+// tick-budget cutoff, which must also coincide.
+func TestKernelEquivalence(t *testing.T) {
+	const n, p = 64, 16
+	base := Config{N: n, P: p, MaxTicks: 4000}
+	snapshot := base
+	snapshot.AllowSnapshot = true
+
+	algs := []struct {
+		name string
+		cfg  Config
+		mk   func() Algorithm
+	}{
+		{"X", base, NewX},
+		{"X-in-place", base, NewXInPlace},
+		{"V", base, NewV},
+		{"combined", base, NewCombined},
+		{"W", base, NewW},
+		{"oblivious", snapshot, NewOblivious},
+		{"ACC", base, func() Algorithm { return NewACC(11) }},
+		{"trivial", base, NewTrivial},
+		{"sequential", base, NewSequential},
+		{"replicated", base, NewReplicated},
+	}
+	advs := []struct {
+		name string
+		mk   func() Adversary
+	}{
+		{"none", NoFailures},
+		{"random", func() Adversary { return RandomFailures(0.2, 0.6, 7) }},
+		{"random-budgeted", func() Adversary { return BudgetedRandomFailures(0.3, 0.7, 13, 64) }},
+		{"thrashing", func() Adversary { return ThrashingAdversary(false) }},
+		{"rotating", func() Adversary { return ThrashingAdversary(true) }},
+		{"halving", HalvingAdversary},
+	}
+
+	for _, alg := range algs {
+		for _, adv := range advs {
+			t.Run(alg.name+"/"+adv.name, func(t *testing.T) {
+				serial := runUnderKernel(t, alg.mk, adv.mk, alg.cfg, SerialKernel, 0)
+				for _, workers := range []int{1, 3, 0 /* GOMAXPROCS */} {
+					par := runUnderKernel(t, alg.mk, adv.mk, alg.cfg, ParallelKernel, workers)
+					assertRunsEqual(t, fmt.Sprintf("workers=%d", workers), serial, par)
+				}
+			})
+		}
+	}
+
+	// The tree-walking adversaries read algorithm X's progress-tree
+	// layout out of shared memory, so they only pair with X.
+	treeAdvs := []struct {
+		name string
+		mk   func() Adversary
+	}{
+		{"postorder", func() Adversary { return PostOrderAdversary(n, p) }},
+		{"stalking", func() Adversary { return StalkingAdversary(n, p, true) }},
+		{"stalking-failstop", func() Adversary { return StalkingAdversary(n, p, false) }},
+	}
+	for _, adv := range treeAdvs {
+		t.Run("X/"+adv.name, func(t *testing.T) {
+			serial := runUnderKernel(t, NewX, adv.mk, base, SerialKernel, 0)
+			par := runUnderKernel(t, NewX, adv.mk, base, ParallelKernel, 4)
+			assertRunsEqual(t, "workers=4", serial, par)
+		})
+	}
+}
+
+func assertRunsEqual(t *testing.T, label string, serial, par kernelRun) {
+	t.Helper()
+	if serial.err != par.err {
+		t.Fatalf("%s: err = %q, serial = %q", label, par.err, serial.err)
+	}
+	if serial.metrics != par.metrics {
+		t.Errorf("%s: metrics diverge:\nserial   %+v\nparallel %+v", label, serial.metrics, par.metrics)
+	}
+	if !reflect.DeepEqual(serial.mem, par.mem) {
+		t.Errorf("%s: final memory diverges", label)
+	}
+	if !reflect.DeepEqual(serial.trace.ticks, par.trace.ticks) {
+		t.Errorf("%s: tick traces diverge (serial %d events, parallel %d)",
+			label, len(serial.trace.ticks), len(par.trace.ticks))
+	}
+	if !reflect.DeepEqual(serial.trace.cycles, par.trace.cycles) {
+		t.Errorf("%s: cycle traces diverge (serial %d events, parallel %d)",
+			label, len(serial.trace.cycles), len(par.trace.cycles))
+	}
+	if !reflect.DeepEqual(serial.trace.runs, par.trace.runs) {
+		t.Errorf("%s: run events diverge: %+v vs %+v", label, serial.trace.runs, par.trace.runs)
+	}
+}
+
+// TestKernelEquivalenceSquare repeats the contract at P = N, where every
+// processor owns one cell and write conflicts peak.
+func TestKernelEquivalenceSquare(t *testing.T) {
+	const n = 32
+	base := Config{N: n, P: n, MaxTicks: 4000}
+	for _, alg := range []struct {
+		name string
+		mk   func() Algorithm
+	}{
+		{"X", NewX},
+		{"V", NewV},
+		{"combined", NewCombined},
+	} {
+		t.Run(alg.name, func(t *testing.T) {
+			mkAdv := func() Adversary { return RandomFailures(0.25, 0.5, 3) }
+			serial := runUnderKernel(t, alg.mk, mkAdv, base, SerialKernel, 0)
+			par := runUnderKernel(t, alg.mk, mkAdv, base, ParallelKernel, 5)
+			assertRunsEqual(t, "workers=5", serial, par)
+		})
+	}
+}
