@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: all check build vet test test-short race bench bench-json fuzz experiments experiments-full cover clean
+# Output file for bench-json; override to capture a non-baseline report,
+# e.g. `make bench-json BENCH_OUT=BENCH_pr2.json`.
+BENCH_OUT ?= BENCH_baseline.json
+# Benchtime for the quick bench-compare pass inside `make check`.
+BENCHTIME ?= 100x
+
+.PHONY: all check build vet test test-short race race-equiv bench bench-json bench-compare bench-check fuzz experiments experiments-full cover clean
 
 all: check
 
-check: build vet test race
+# check fails fast on the determinism contracts (race-equiv) before the
+# full -race sweep, then ends with a warn-only benchmark comparison.
+check: build vet test race-equiv race bench-check
 
 build:
 	$(GO) build ./...
@@ -21,13 +29,33 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# race-equiv runs just the kernel/pooling determinism contracts under the
+# race detector: the parallel kernel's sharded attempt phase and the
+# pooled Runner's buffer reuse are the two places a data race could hide.
+race-equiv:
+	$(GO) test -race -run 'TestKernelEquivalence|TestPooledRun|TestDoneHint' .
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# bench-json regenerates BENCH_baseline.json: the kernel and tick
-# throughput benchmarks in machine-readable form (see cmd/benchjson).
+# bench-json regenerates $(BENCH_OUT) (default BENCH_baseline.json): the
+# kernel and tick throughput benchmarks in machine-readable form (see
+# cmd/benchjson).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-compare reruns the tracked benchmarks and diffs them against the
+# committed baseline, failing on >25% ns/op or allocs/op regressions.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchtime $(BENCHTIME) -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > bench_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json bench_new.json
+
+# bench-check is bench-compare in warn-only form for `make check`: a short
+# benchtime keeps it fast, and the leading '-' keeps noisy regressions
+# from failing the whole check (run `make bench-compare` for the strict
+# version at default benchtime).
+bench-check:
+	-$(MAKE) bench-compare BENCHTIME=$(BENCHTIME)
 
 fuzz:
 	$(GO) test -fuzz FuzzWriteAllUnderRandomPatterns -fuzztime 30s ./internal/writeall/
@@ -43,4 +71,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_new.json

@@ -19,17 +19,21 @@ import (
 // work-S/op. `go run ./cmd/experiments` prints the corresponding full
 // tables.
 
-// benchWriteAll runs one Write-All configuration per iteration.
+// benchWriteAll runs one Write-All configuration per iteration on a
+// pooled Runner. The algorithm is instantiated once and reused — Setup
+// reinitializes its Done state every run, and reusing the instance lets
+// the runner recycle Resettable processor state (for ACC this means
+// iterations see successive random streams rather than a replay, which is
+// if anything more representative).
 func benchWriteAll(b *testing.B, n, p int, mkAlg func() pram.Algorithm, mkAdv func() pram.Adversary, cfg Config) {
 	b.Helper()
+	var runner pram.Runner
+	defer runner.Close()
+	alg := mkAlg()
 	var lastS int64
 	for i := 0; i < b.N; i++ {
 		cfg.N, cfg.P = n, p
-		m, err := pram.New(cfg, mkAlg(), mkAdv())
-		if err != nil {
-			b.Fatal(err)
-		}
-		got, err := m.Run()
+		got, err := runner.Run(cfg, alg, mkAdv())
 		if err != nil {
 			b.Fatal(err)
 		}

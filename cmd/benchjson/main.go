@@ -7,14 +7,26 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_baseline.json
+//	benchjson -compare BENCH_baseline.json BENCH_new.json
+//
+// In -compare mode it diffs two reports benchmark by benchmark, printing
+// old/new/delta for each tracked metric, and exits 1 if any metric
+// regresses by more than -threshold percent. Benchmarks present in only
+// one report are noted but never fail the comparison, so baselines stay
+// valid while the benchmark suite grows. Names are matched with the -cpu
+// suffix stripped, so baselines captured at different GOMAXPROCS still
+// line up.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -44,6 +56,36 @@ type Report struct {
 }
 
 func main() {
+	var (
+		compareMode = flag.Bool("compare", false, "compare two report files (old new) instead of converting stdin")
+		threshold   = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		metricsFlag = flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to compare")
+	)
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cur, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		regressions := compare(os.Stdout, old, cur, splitMetrics(*metricsFlag), *threshold)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n", regressions, *threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -105,4 +147,116 @@ func parseLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, true
+}
+
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("load report: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func splitMetrics(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// cpuSuffix is the trailing "-8" GOMAXPROCS marker go test appends to
+// benchmark names; it is stripped before matching so reports captured at
+// different parallelism settings still compare.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchKey identifies a benchmark across reports: package plus name with
+// the -cpu suffix normalized away.
+func benchKey(b Benchmark) string {
+	return b.Package + " " + cpuSuffix.ReplaceAllString(b.Name, "")
+}
+
+// compare prints an old/new/delta table for every benchmark present in
+// both reports (in new-report order) and returns the number of metric
+// regressions beyond threshold percent. All tracked metrics are
+// lower-is-better; a metric that goes from zero to nonzero counts as a
+// regression regardless of threshold (its relative delta is infinite).
+func compare(out io.Writer, old, cur Report, metrics []string, threshold float64) int {
+	oldByKey := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByKey[benchKey(b)] = b
+	}
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-60s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	regressions := 0
+	matched := make(map[string]bool, len(cur.Benchmarks))
+	for _, nb := range cur.Benchmarks {
+		key := benchKey(nb)
+		ob, ok := oldByKey[key]
+		if !ok {
+			fmt.Fprintf(w, "%-60s (new benchmark, no baseline)\n", displayName(nb))
+			continue
+		}
+		matched[key] = true
+		for _, metric := range metrics {
+			ov, oOK := ob.Metrics[metric]
+			nv, nOK := nb.Metrics[metric]
+			if !oOK || !nOK {
+				continue
+			}
+			delta, deltaStr := relDelta(ov, nv)
+			mark := ""
+			if delta > threshold {
+				mark = "  << regression"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-60s %-10s %14s %14s %9s%s\n",
+				displayName(nb), metric, formatVal(ov), formatVal(nv), deltaStr, mark)
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		if !matched[benchKey(ob)] {
+			fmt.Fprintf(w, "%-60s (missing from new report)\n", displayName(ob))
+		}
+	}
+	return regressions
+}
+
+// displayName shortens the package path to its last element so table rows
+// stay readable ("pram/BenchmarkMachineTick/n=4096").
+func displayName(b Benchmark) string {
+	name := cpuSuffix.ReplaceAllString(b.Name, "")
+	if b.Package == "" {
+		return name
+	}
+	parts := strings.Split(b.Package, "/")
+	return parts[len(parts)-1] + "/" + name
+}
+
+// relDelta returns the relative change in percent and its rendering.
+// 0 -> 0 is no change; 0 -> x is an infinite regression.
+func relDelta(old, new float64) (float64, string) {
+	switch {
+	case old == 0 && new == 0:
+		return 0, "0.0%"
+	case old == 0:
+		return math.Inf(1), "+inf%"
+	}
+	d := (new - old) / old * 100
+	return d, fmt.Sprintf("%+.1f%%", d)
+}
+
+func formatVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }

@@ -45,6 +45,103 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 }
 
+// mkReport builds a one-package report from (name, ns/op, allocs/op)
+// triples, exercising the same shapes bench-json emits.
+func mkReport(rows ...[3]any) Report {
+	rep := Report{Goos: "linux"}
+	for _, r := range rows {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:    r[0].(string),
+			Package: "repro/internal/pram",
+			Metrics: map[string]float64{
+				"ns/op":     float64(r[1].(int)),
+				"allocs/op": float64(r[2].(int)),
+			},
+		})
+	}
+	return rep
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	metrics := []string{"ns/op", "allocs/op"}
+	old := mkReport(
+		[3]any{"BenchmarkA-8", 1000, 10},
+		[3]any{"BenchmarkB-8", 2000, 0},
+		[3]any{"BenchmarkGone-8", 50, 1},
+	)
+
+	t.Run("improvement-passes", func(t *testing.T) {
+		cur := mkReport(
+			[3]any{"BenchmarkA-4", 900, 2}, // different -cpu suffix must still match
+			[3]any{"BenchmarkB-4", 2100, 0},
+			[3]any{"BenchmarkNew-4", 10, 0},
+		)
+		var out strings.Builder
+		if got := compare(&out, old, cur, metrics, 25); got != 0 {
+			t.Errorf("compare found %d regressions, want 0\n%s", got, out.String())
+		}
+		for _, want := range []string{"new benchmark, no baseline", "missing from new report", "-10.0%"} {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("output missing %q:\n%s", want, out.String())
+			}
+		}
+	})
+
+	t.Run("slowdown-beyond-threshold-fails", func(t *testing.T) {
+		cur := mkReport(
+			[3]any{"BenchmarkA-8", 1400, 10}, // +40% ns/op
+			[3]any{"BenchmarkB-8", 2000, 0},
+		)
+		var out strings.Builder
+		if got := compare(&out, old, cur, metrics, 25); got != 1 {
+			t.Errorf("compare found %d regressions, want 1\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "<< regression") {
+			t.Errorf("output does not flag the regression:\n%s", out.String())
+		}
+	})
+
+	t.Run("zero-to-nonzero-allocs-fails", func(t *testing.T) {
+		cur := mkReport(
+			[3]any{"BenchmarkA-8", 1000, 10},
+			[3]any{"BenchmarkB-8", 2000, 3}, // allocs appeared from nowhere
+		)
+		var out strings.Builder
+		if got := compare(&out, old, cur, metrics, 25); got != 1 {
+			t.Errorf("compare found %d regressions, want 1\n%s", got, out.String())
+		}
+		if !strings.Contains(out.String(), "+inf%") {
+			t.Errorf("output does not show infinite delta:\n%s", out.String())
+		}
+	})
+
+	t.Run("within-threshold-passes", func(t *testing.T) {
+		cur := mkReport(
+			[3]any{"BenchmarkA-8", 1200, 10}, // +20% < 25%
+			[3]any{"BenchmarkB-8", 2000, 0},
+		)
+		var out strings.Builder
+		if got := compare(&out, old, cur, metrics, 25); got != 0 {
+			t.Errorf("compare found %d regressions, want 0\n%s", got, out.String())
+		}
+	})
+}
+
+func TestBenchKeyNormalizesCPUSuffix(t *testing.T) {
+	a := Benchmark{Name: "BenchmarkX/p=64-8", Package: "p"}
+	b := Benchmark{Name: "BenchmarkX/p=64-2", Package: "p"}
+	c := Benchmark{Name: "BenchmarkX/p=64", Package: "p"}
+	if benchKey(a) != benchKey(b) || benchKey(a) != benchKey(c) {
+		t.Errorf("keys differ: %q %q %q", benchKey(a), benchKey(b), benchKey(c))
+	}
+	// A sub-benchmark whose own name ends in a number must not lose it
+	// unless it is a -N suffix.
+	d := Benchmark{Name: "BenchmarkX/n=4096", Package: "p"}
+	if !strings.Contains(benchKey(d), "n=4096") {
+		t.Errorf("benchKey(%q) = %q mangled the sub-benchmark name", d.Name, benchKey(d))
+	}
+}
+
 func TestParseLineRejectsMalformed(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX --- SKIP",

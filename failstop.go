@@ -21,6 +21,17 @@ type (
 	Metrics = pram.Metrics
 	// Machine is one configured simulation run.
 	Machine = pram.Machine
+	// Runner executes many runs on one pooled Machine, reusing memory,
+	// scratch state, and (via Resettable) processor state across runs.
+	Runner = pram.Runner
+	// Resettable marks Processor implementations whose state can be
+	// reinitialized in place, letting machines recycle them across
+	// restarts and pooled runs.
+	Resettable = pram.Resettable
+	// ArrayDoneHinter marks Algorithms with array-style Done predicates
+	// ("cells [0, k) all non-zero"), enabling the machine's O(1)
+	// incremental completion counter.
+	ArrayDoneHinter = pram.ArrayDoneHinter
 	// Algorithm is a fault-tolerant PRAM algorithm.
 	Algorithm = pram.Algorithm
 	// Adversary is an on-line failure/restart adversary.
@@ -69,13 +80,16 @@ const (
 )
 
 // Tick kernels (Config.Kernel): how a machine executes the attempt phase
-// of each tick. Both produce bit-identical runs.
+// of each tick. All produce bit-identical runs.
 const (
 	// SerialKernel attempts cycles one PID at a time (the default).
 	SerialKernel = pram.SerialKernel
 	// ParallelKernel shards the attempt phase across worker goroutines
 	// (Config.Workers; commit stays serial in PID order).
 	ParallelKernel = pram.ParallelKernel
+	// AutoKernel picks serial vs. sharded execution from P, the worker
+	// count, and periodic timed probes of both engines.
+	AutoKernel = pram.AutoKernel
 )
 
 // NewProcTracker returns a ProcTracker for p processors; pass it as

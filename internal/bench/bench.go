@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/pram"
 )
@@ -154,16 +155,19 @@ func Slope(xs, ys []float64) float64 {
 // and benches, where a failed run is a harness bug (algorithms are
 // verified in the test suite).
 func runWA(cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) pram.Metrics {
-	m, err := pram.New(cfg, alg, adv)
-	if err != nil {
-		panic(fmt.Sprintf("bench: New(%s, %s): %v", alg.Name(), adv.Name(), err))
-	}
-	got, err := m.Run()
+	r := runners.Get().(*pram.Runner)
+	defer runners.Put(r)
+	got, err := r.Run(cfg, alg, adv)
 	if err != nil {
 		panic(fmt.Sprintf("bench: Run(%s, %s): %v", alg.Name(), adv.Name(), err))
 	}
 	return got
 }
+
+// runners pools pram.Runner values so the sweep grid reuses machine
+// allocations across runs and across bench.Points goroutines (a Runner is
+// single-goroutine; the pool hands each worker its own).
+var runners = sync.Pool{New: func() any { return new(pram.Runner) }}
 
 func log2(n int) float64 { return math.Log2(float64(n)) }
 

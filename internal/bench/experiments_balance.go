@@ -44,11 +44,14 @@ func E16LoadBalance(s Scale) []Table {
 		for _, mkAlg := range algs {
 			alg, adv := mkAlg(), mkAdv()
 			tracker := pram.NewProcTracker(p)
-			m, err := pram.New(pram.Config{N: n, P: p, Sink: tracker}, alg, adv)
+			r := runners.Get().(*pram.Runner)
+			mach, err := r.Machine(pram.Config{N: n, P: p, Sink: tracker}, alg, adv)
 			if err != nil {
+				runners.Put(r)
 				panic(fmt.Sprintf("bench: E16 New: %v", err))
 			}
-			got, err := m.Run()
+			got, err := mach.Run()
+			runners.Put(r)
 			if err != nil {
 				panic(fmt.Sprintf("bench: E16 Run: %v", err))
 			}

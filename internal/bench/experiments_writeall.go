@@ -14,11 +14,9 @@ import (
 // limit (for demonstrating non-termination); finished reports whether the
 // task completed.
 func runWACapped(cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) (m pram.Metrics, finished bool) {
-	mach, err := pram.New(cfg, alg, adv)
-	if err != nil {
-		panic(fmt.Sprintf("bench: New(%s, %s): %v", alg.Name(), adv.Name(), err))
-	}
-	got, err := mach.Run()
+	r := runners.Get().(*pram.Runner)
+	defer runners.Put(r)
+	got, err := r.Run(cfg, alg, adv)
 	if err != nil {
 		if errors.Is(err, pram.ErrTickLimit) {
 			return got, false

@@ -38,32 +38,74 @@ type Algorithm interface {
 	Done(mem MemoryView, n, p int) bool
 }
 
+// Resettable is an optional interface for Processor implementations whose
+// private state can be reinitialized in place. Reset(pid, n, p) must leave
+// the processor bit-identical to a fresh Algorithm.NewProcessor(pid, n, p)
+// result. The machine uses it to recycle processor allocations across
+// restarts (a restarted processor is indistinguishable from a fresh one by
+// the model's definition: it knows only its PID, the machine parameters,
+// and its stable counter) and — when Machine.Reset is handed the same
+// Algorithm value again — across whole runs. Algorithms whose NewProcessor
+// has side effects or hands out per-incarnation state (e.g. ACC's random
+// streams) must simply not implement it.
+type Resettable interface {
+	Reset(pid, n, p int)
+}
+
+// ArrayDoneHinter is an optional Algorithm interface for "array-style"
+// completion predicates of the form "cells [0, k) are all non-zero" — the
+// shape of every Write-All Done check. When an algorithm provides it (and
+// Config.DisableDoneHint is unset), the machine maintains a
+// remaining-unset counter incrementally in the commit phase and answers
+// Done in O(1) instead of rescanning memory every tick (O(N·T) over a
+// run). DoneCells returns the prefix length k; returning a non-positive
+// value declines the hint for that run. The polled Done predicate remains
+// the semantic oracle: the two must agree on every reachable memory state,
+// which the equivalence tests check by running the same grid with the hint
+// disabled. Beware method promotion: a wrapper that embeds a hinting
+// algorithm and overrides Done inherits DoneCells too, and must shadow it
+// (returning 0) if its Done is no longer the array predicate.
+type ArrayDoneHinter interface {
+	DoneCells(n, p int) int
+}
+
+// Inline Ctx buffer capacities. The model caps an update cycle at
+// MaxReadsPerCycle reads and MaxWritesPerCycle writes; Config budgets can
+// raise that (the robust executor of Theorem 4.1 uses up to 9 reads), so
+// the inline arrays cover every budget used in-tree and a spill slice
+// keeps larger custom budgets correct — they only lose the
+// zero-allocation guarantee, never correctness.
+const (
+	ctxInlineReads  = 12
+	ctxInlineWrites = 4
+)
+
 // Ctx carries one processor's view of the machine during a single update
 // cycle. Reads observe the shared memory as of the start of the tick;
 // writes are buffered and committed synchronously at the end of the tick
-// under the machine's write policy.
+// under the machine's write policy. The read/write logs live in fixed
+// inline arrays (cycles are constant-size by the model), so steady-state
+// cycles allocate nothing.
 type Ctx struct {
 	pid  int
 	n    int
 	p    int
 	tick int
 
-	mem       MemoryView
-	reads     int
-	readAddrs []int
-	writes    []bufferedWrite
-	snapshots int
+	mem        MemoryView
+	reads      int
+	readA      [ctxInlineReads]int
+	readSpill  []int
+	nWrites    int
+	writeA     [ctxInlineWrites]WriteOp
+	writeSpill []WriteOp
+	snapshots  int
 
 	stable    Word
 	newStable Word
 	stableSet bool
 
 	halted bool
-}
-
-type bufferedWrite struct {
-	addr int
-	val  Word
 }
 
 // PID returns the processor's permanent identifier in [0, P).
@@ -82,8 +124,15 @@ func (c *Ctx) Tick() int { return c.tick }
 
 // Read returns the value of shared cell addr as of the start of this tick.
 func (c *Ctx) Read(addr int) Word {
+	if c.reads < len(c.readA) {
+		c.readA[c.reads] = addr
+	} else {
+		if c.reads == len(c.readA) {
+			c.readSpill = append(c.readSpill[:0], c.readA[:]...)
+		}
+		c.readSpill = append(c.readSpill, addr)
+	}
 	c.reads++
-	c.readAddrs = append(c.readAddrs, addr)
 	return c.mem.Load(addr)
 }
 
@@ -92,7 +141,33 @@ func (c *Ctx) Read(addr int) Word {
 // buffered writes commits (word writes are atomic, so each buffered write
 // either lands completely or not at all).
 func (c *Ctx) Write(addr int, v Word) {
-	c.writes = append(c.writes, bufferedWrite{addr: addr, val: v})
+	if c.nWrites < len(c.writeA) {
+		c.writeA[c.nWrites] = WriteOp{Addr: addr, Val: v}
+	} else {
+		if c.nWrites == len(c.writeA) {
+			c.writeSpill = append(c.writeSpill[:0], c.writeA[:]...)
+		}
+		c.writeSpill = append(c.writeSpill, WriteOp{Addr: addr, Val: v})
+	}
+	c.nWrites++
+}
+
+// readAddrs returns the addresses read so far this cycle, in program
+// order. The slice aliases Ctx-owned storage valid until the next reset.
+func (c *Ctx) readAddrs() []int {
+	if c.reads <= len(c.readA) {
+		return c.readA[:c.reads]
+	}
+	return c.readSpill[:c.reads]
+}
+
+// writeOps returns the writes buffered so far this cycle, in program
+// order. The slice aliases Ctx-owned storage valid until the next reset.
+func (c *Ctx) writeOps() []WriteOp {
+	if c.nWrites <= len(c.writeA) {
+		return c.writeA[:c.nWrites]
+	}
+	return c.writeSpill[:c.nWrites]
 }
 
 // Snapshot copies the entire shared memory into dst at unit cost. It is
@@ -120,8 +195,7 @@ func (c *Ctx) SetStable(v Word) {
 func (c *Ctx) reset(tick int, stable Word) {
 	c.tick = tick
 	c.reads = 0
-	c.readAddrs = c.readAddrs[:0]
-	c.writes = c.writes[:0]
+	c.nWrites = 0
 	c.snapshots = 0
 	c.stable = stable
 	c.newStable = 0

@@ -20,8 +20,16 @@ const (
 	// ParallelKernel fans the attempt phase across a pool of worker
 	// goroutines over PID shards (Config.Workers of them). Worthwhile
 	// when P is large enough that cycle execution dominates the
-	// per-tick coordination cost (roughly P >= 1024).
+	// per-tick coordination cost; with a single worker (e.g.
+	// GOMAXPROCS=1) it degenerates to the serial walk with no pool
+	// round-trip.
 	ParallelKernel
+	// AutoKernel selects serial vs. sharded execution per run from P,
+	// the worker count, and periodic timed probes of both engines, so
+	// sweeps spanning small and large P get the faster engine at every
+	// point without per-point tuning. Results are bit-identical to the
+	// other kernels; only wall-clock differs.
+	AutoKernel
 )
 
 // String implements fmt.Stringer for Kernel.
@@ -31,6 +39,8 @@ func (k Kernel) String() string {
 		return "serial"
 	case ParallelKernel:
 		return "parallel"
+	case AutoKernel:
+		return "auto"
 	default:
 		return "invalid"
 	}
@@ -46,10 +56,15 @@ func (k Kernel) String() string {
 // kernels report the same first validation error and identical metrics.
 type tickKernel interface {
 	attempt(m *Machine) int
+	// close releases kernel resources (worker pools); it must be called
+	// at most once. Serial kernels have none and no-op.
+	close()
 }
 
 // serialKernel is the direct lock-step implementation.
 type serialKernel struct{}
+
+func (serialKernel) close() {}
 
 func (serialKernel) attempt(m *Machine) int {
 	alive := 0
@@ -76,11 +91,8 @@ func (m *Machine) attemptOne(pid int) {
 	ctx.reset(m.tick, m.stables[pid])
 	status := m.procs[pid].Cycle(ctx)
 	in := &m.intentsB[pid]
-	in.Reads = ctx.readAddrs
-	in.Writes = in.Writes[:0]
-	for _, w := range ctx.writes {
-		in.Writes = append(in.Writes, WriteOp{Addr: w.addr, Val: w.val})
-	}
+	in.Reads = ctx.readAddrs() // aliases Ctx storage; valid through the tick
+	in.Writes = ctx.writeOps()
 	in.Halts = status == Halt
 	in.Snapshot = ctx.snapshots > 0
 	m.intents[pid] = in
@@ -100,6 +112,8 @@ func newKernel(kind Kernel, workers int) (tickKernel, error) {
 		return serialKernel{}, nil
 	case ParallelKernel:
 		return newParallelKernel(workers), nil
+	case AutoKernel:
+		return newAutoKernel(workers), nil
 	default:
 		return nil, fmt.Errorf("pram: invalid kernel %d", kind)
 	}

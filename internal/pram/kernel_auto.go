@@ -1,0 +1,93 @@
+package pram
+
+import "time"
+
+// autoKernel implements AutoKernel: it measures both tick engines on the
+// live workload and commits to whichever is faster, re-measuring
+// periodically because the balance drifts as processors die, halt, and
+// restart. Engine choice can never change results — serial and sharded
+// attempts are bit-identical by the kernel contract, property-tested by
+// the equivalence suite — so switching mid-run only affects wall-clock.
+//
+// Two cases need no measurement at all and short-circuit to the serial
+// walk: a single worker (sharding cannot overlap anything, e.g.
+// GOMAXPROCS=1) and P within one shard (a lone shard is the serial walk
+// plus pool overhead).
+type autoKernel struct {
+	par *parallelKernel
+
+	mode        autoMode
+	left        int // ticks remaining in the current mode
+	useParallel bool
+	serialNS    int64
+	parNS       int64
+}
+
+type autoMode int
+
+const (
+	autoProbeSerial autoMode = iota
+	autoProbeParallel
+	autoCommitted
+)
+
+const (
+	// autoProbeTicks is the number of timed ticks per engine per probe
+	// round: enough to average out scheduler noise, few enough that a
+	// probe costs well under a percent of a committed window.
+	autoProbeTicks = 8
+	// autoCommitTicks is how long a probe winner runs before the kernel
+	// probes again.
+	autoCommitTicks = 4096
+)
+
+func newAutoKernel(workers int) *autoKernel {
+	return &autoKernel{par: newParallelKernel(workers), mode: autoProbeSerial, left: autoProbeTicks}
+}
+
+func (k *autoKernel) attempt(m *Machine) int {
+	if k.par.pool.workers <= 1 || m.cfg.P <= k.par.pool.chunk {
+		return serialKernel{}.attempt(m)
+	}
+	if k.left == 0 {
+		k.advance()
+	}
+	k.left--
+	switch k.mode {
+	case autoProbeSerial:
+		t0 := time.Now()
+		n := serialKernel{}.attempt(m)
+		k.serialNS += int64(time.Since(t0))
+		return n
+	case autoProbeParallel:
+		t0 := time.Now()
+		n := k.par.attempt(m)
+		k.parNS += int64(time.Since(t0))
+		return n
+	default: // autoCommitted
+		if k.useParallel {
+			return k.par.attempt(m)
+		}
+		return serialKernel{}.attempt(m)
+	}
+}
+
+// advance rolls the probe state machine over: serial probe -> parallel
+// probe -> committed window -> serial probe ...
+func (k *autoKernel) advance() {
+	switch k.mode {
+	case autoProbeSerial:
+		k.mode, k.left = autoProbeParallel, autoProbeTicks
+		k.parNS = 0
+	case autoProbeParallel:
+		k.mode, k.left = autoCommitted, autoCommitTicks
+		k.useParallel = k.parNS < k.serialNS
+	default:
+		k.mode, k.left = autoProbeSerial, autoProbeTicks
+		k.serialNS = 0
+	}
+}
+
+func (k *autoKernel) close() {
+	k.par.close()
+}

@@ -83,6 +83,41 @@ func BenchmarkSteadyStateTick(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelCrossover pins the serial/parallel crossover that the
+// adaptive kernel navigates: steady-state tick cost for each engine at
+// P from well below the shard size to well above it. The regression this
+// guards against: at small-to-medium P the parallel kernel's wake/park
+// handshake used to cost more than the whole serial walk, yet was still
+// selected (notably parallel-gomaxprocs at p=1024 losing to serial). The
+// auto rows must track whichever engine wins at each P, modulo its
+// periodic probe overhead.
+func BenchmarkKernelCrossover(b *testing.B) {
+	for _, k := range []struct {
+		name    string
+		kern    Kernel
+		workers int
+	}{
+		{"serial", SerialKernel, 0},
+		{"parallel-gomaxprocs", ParallelKernel, 0},
+		{"auto-gomaxprocs", AutoKernel, 0},
+	} {
+		for _, p := range []int{64, 256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/p=%d", k.name, p), func(b *testing.B) {
+				m := spinMachine(b, p, k.kern, k.workers)
+				defer m.Close()
+				for i := 0; i < 16; i++ {
+					stepOnce(b, m)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					stepOnce(b, m)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelWriteAll compares end-to-end Write-All runs under both
 // kernels: algorithm X, failure-free, P = N/4. On a multi-core host the
 // parallel kernel's attempt phase shards across workers; on a single-core

@@ -66,17 +66,30 @@ func normalWorkers(cfgWorkers, p int) int {
 
 func (k *parallelKernel) attempt(m *Machine) int {
 	p := k.pool
+	if p.workers <= 1 {
+		// One worker is the serial walk plus a pool round-trip per tick;
+		// skip the pool entirely. This is what GOMAXPROCS=1 resolves to,
+		// and what made parallel-gomaxprocs lose to serial at p=1024.
+		return serialKernel{}.attempt(m)
+	}
 	if !p.started {
 		p.started = true
 		for i := 0; i < p.workers; i++ {
 			go p.run()
 		}
 	}
+	// Shard-count floor: waking a worker costs a channel handoff, so
+	// never wake more workers than there are shards to claim — at small
+	// P most of the pool would wake only to find the cursor exhausted.
+	active := (m.cfg.P + p.chunk - 1) / p.chunk
+	if active > p.workers {
+		active = p.workers
+	}
 	p.m = m
 	p.limit = m.cfg.P
 	p.cursor.Store(0)
-	p.wg.Add(p.workers)
-	for i := 0; i < p.workers; i++ {
+	p.wg.Add(active)
+	for i := 0; i < active; i++ {
 		p.start <- struct{}{}
 	}
 	p.wg.Wait()
@@ -120,8 +133,8 @@ func (p *workerPool) run() {
 	}
 }
 
-// close releases the pool's workers. Idempotent via the machine's
-// closeOnce.
+// close releases the pool's workers. Called at most once, by
+// Machine.Close, Machine.setKernel replacement, or the drop finalizer.
 func (k *parallelKernel) close() {
 	close(k.pool.stop)
 }

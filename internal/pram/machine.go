@@ -3,9 +3,9 @@ package pram
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"slices"
-	"sync"
 )
 
 // LegalityMode selects how the machine handles an adversary decision that
@@ -46,9 +46,15 @@ type Config struct {
 	// by the paper's fixed fetch/decode/execute constant.
 	CycleReadBudget, CycleWriteBudget int
 	// Kernel selects the tick execution engine; the zero value means
-	// SerialKernel. Both kernels are observationally identical; see the
-	// Kernel type for when ParallelKernel pays off.
+	// SerialKernel. All kernels are observationally identical; see the
+	// Kernel type for when ParallelKernel and AutoKernel pay off.
 	Kernel Kernel
+	// DisableDoneHint forces the polled Done predicate every tick even
+	// when the algorithm implements ArrayDoneHinter, disabling the
+	// incremental O(1) completion counter. The equivalence tests use it
+	// to check the counter against the polled oracle; ordinary runs
+	// leave it false.
+	DisableDoneHint bool
 	// Workers is the ParallelKernel worker count; non-positive means
 	// GOMAXPROCS. Ignored by SerialKernel.
 	Workers int
@@ -99,7 +105,10 @@ var (
 	ErrSnapshotDisallowed = errors.New("pram: snapshot instruction not allowed by config")
 )
 
-// Machine simulates one run of an Algorithm against an Adversary.
+// Machine simulates runs of an Algorithm against an Adversary. A machine
+// is built once by New and can be recycled for further runs with Reset,
+// which reuses every allocation of the previous run; see Runner for the
+// pooled pattern.
 type Machine struct {
 	cfg  Config
 	alg  Algorithm
@@ -107,11 +116,29 @@ type Machine struct {
 	kern tickKernel
 	sink Sink
 
+	// kernKind/kernWorkers identify the installed kernel so Reset can
+	// keep it (and its worker pool) when the configuration still wants
+	// the same one.
+	kernKind    Kernel
+	kernWorkers int
+
 	mem     *Memory
 	states  []ProcState
 	procs   []Processor
 	stables []Word
 	ctxs    []*Ctx
+
+	// retired stashes Resettable processors of dead or halted PIDs so a
+	// later restart (or the next pooled run) can recycle them instead of
+	// allocating through Algorithm.NewProcessor.
+	retired []Processor
+
+	// hintLen/remaining implement the incremental Done counter for
+	// ArrayDoneHinter algorithms: remaining counts zero cells in
+	// [0, hintLen), maintained by store. hintLen == 0 means the hint is
+	// off and Done is polled.
+	hintLen   int
+	remaining int
 
 	tick    int
 	metrics Metrics
@@ -126,12 +153,19 @@ type Machine struct {
 	writeBuf []taggedWrite
 	readBuf  []int
 
-	closeOnce sync.Once
+	// failBuf is the per-PID resolution of the adversary's failure map,
+	// rebuilt each tick the map is non-empty; failDirty tracks whether it
+	// holds stale entries. It replaces per-PID map lookups in the apply
+	// phase with an indexed read in PID order.
+	failBuf   []FailPoint
+	failDirty bool
+
+	closed bool
 }
 
 type pendingCommit struct {
 	pid       int
-	writes    []bufferedWrite // prefix to commit
+	writes    []WriteOp // prefix to commit; aliases the PID's Ctx buffers
 	fail      FailPoint
 	stableSet bool
 	stable    Word
@@ -142,8 +176,29 @@ type pendingCommit struct {
 
 // New constructs a machine for one run.
 func New(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
+	m := &Machine{}
+	if err := m.Reset(cfg, alg, adv); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset reinitializes the machine for a fresh run of alg against adv,
+// reusing every allocation the previous run left behind: shared memory,
+// contexts, scratch buffers, the kernel worker pool, and — when alg is
+// the same Algorithm value as the previous run and its processors
+// implement Resettable — the processors themselves. A reset machine is
+// bit-identical in behavior to one built by New with the same arguments
+// (the pooled-equivalence property test holds it to that); the only
+// intentional exception is algorithms whose NewProcessor draws fresh
+// per-incarnation state, which opt out by not implementing Resettable.
+// Reset must not be called concurrently with Step or Run.
+func (m *Machine) Reset(cfg Config, alg Algorithm, adv Adversary) error {
+	if m.closed {
+		return errors.New("pram: Reset on closed machine")
+	}
 	if cfg.N <= 0 || cfg.P <= 0 {
-		return nil, fmt.Errorf("pram: N and P must be positive, got N=%d P=%d", cfg.N, cfg.P)
+		return fmt.Errorf("pram: N and P must be positive, got N=%d P=%d", cfg.N, cfg.P)
 	}
 	if cfg.Policy == 0 {
 		cfg.Policy = Common
@@ -157,56 +212,201 @@ func New(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
 	if cfg.Kernel == 0 {
 		cfg.Kernel = SerialKernel
 	}
-	kern, err := newKernel(cfg.Kernel, normalWorkers(cfg.Workers, cfg.P))
-	if err != nil {
-		return nil, err
+	if err := m.setKernel(cfg.Kernel, normalWorkers(cfg.Workers, cfg.P)); err != nil {
+		return err
 	}
-	m := &Machine{
-		cfg:      cfg,
-		alg:      alg,
-		adv:      adv,
-		kern:     kern,
-		sink:     cfg.Sink,
-		mem:      NewMemory(alg.MemorySize(cfg.N, cfg.P)),
-		states:   make([]ProcState, cfg.P),
-		procs:    make([]Processor, cfg.P),
-		stables:  make([]Word, cfg.P),
-		ctxs:     make([]*Ctx, cfg.P),
-		intents:  make([]*Intent, cfg.P),
-		intentsB: make([]Intent, cfg.P),
-		pending:  make([]pendingCommit, 0, cfg.P),
+	sameAlg := algSameInstance(m.alg, alg)
+	m.cfg, m.alg, m.adv, m.sink = cfg, alg, adv, cfg.Sink
+
+	p := cfg.P
+	m.states = grow(m.states, p)
+	m.procs = grow(m.procs, p)
+	m.retired = grow(m.retired, p)
+	m.stables = grow(m.stables, p)
+	m.ctxs = grow(m.ctxs, p)
+	m.intents = grow(m.intents, p)
+	m.intentsB = grow(m.intentsB, p)
+	m.failBuf = grow(m.failBuf, p)
+	m.failDirty = true // grow does not clear; stale entries possible
+	if !sameAlg {
+		// Stale processors beyond the previous run's P could otherwise
+		// resurface in a later grow and be recycled for the wrong
+		// algorithm; instance-gating is only sound if every stashed
+		// processor belongs to the current instance.
+		clear(m.procs[:cap(m.procs)])
+		clear(m.retired[:cap(m.retired)])
 	}
+	if cap(m.pending) < p {
+		m.pending = make([]pendingCommit, 0, p)
+	}
+	m.pending = m.pending[:0]
 	if cfg.Scheduler != nil {
-		m.sched = make([]bool, cfg.P)
+		m.sched = grow(m.sched, p)
+	} else {
+		m.sched = nil
 	}
-	alg.Setup(m.mem, cfg.N, cfg.P)
-	for pid := 0; pid < cfg.P; pid++ {
+
+	size := alg.MemorySize(cfg.N, p)
+	if m.mem == nil {
+		m.mem = NewMemory(size)
+	} else {
+		m.mem.Reset(size)
+	}
+	alg.Setup(m.mem, cfg.N, p)
+
+	view := m.mem.View()
+	for pid := 0; pid < p; pid++ {
 		m.states[pid] = Alive
-		m.procs[pid] = alg.NewProcessor(pid, cfg.N, cfg.P)
-		m.ctxs[pid] = &Ctx{pid: pid, n: cfg.N, p: cfg.P, mem: m.mem.View()}
+		m.stables[pid] = 0
+		m.intents[pid] = nil
+		m.procs[pid] = m.nextProcessor(pid, sameAlg)
+		c := m.ctxs[pid]
+		if c == nil {
+			c = &Ctx{}
+			m.ctxs[pid] = c
+		}
+		c.pid, c.n, c.p, c.mem = pid, cfg.N, p, view
+		c.reset(0, 0)
 	}
-	m.metrics = Metrics{N: cfg.N, P: cfg.P}
-	if pk, ok := kern.(*parallelKernel); ok {
-		// Reclaim the worker pool of machines that are dropped without
-		// Close. The pool keeps no reference back to the machine while
-		// idle, so the finalizer can fire.
-		runtime.SetFinalizer(m, func(m *Machine) { pk.close() })
-	}
-	return m, nil
+	m.tick = 0
+	m.ended = false
+	m.metrics = Metrics{N: cfg.N, P: p}
+	m.initDoneHint()
+	return nil
 }
 
-// Close releases the resources of a ParallelKernel machine (its worker
-// pool); it is a no-op for serial machines. Close must not be called
-// concurrently with Step or Run. Machines that are simply dropped are
+// grow returns s with length n, reusing capacity when possible. Elements
+// are not cleared: Reset overwrites every slot it reads, and the
+// processor slices are cleared explicitly on algorithm change.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// algSameInstance reports whether a and b are the same comparable
+// Algorithm value — the gate for recycling processor state across runs.
+// Instance identity (not type identity) is required because processors
+// may capture per-instance configuration, e.g. algorithm X's options.
+func algSameInstance(a, b Algorithm) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// setKernel installs the tick kernel for kind/workers, keeping the
+// current kernel (and its worker pool and adaptive state) when it already
+// matches.
+func (m *Machine) setKernel(kind Kernel, workers int) error {
+	if m.kern != nil && kind == m.kernKind && workers == m.kernWorkers {
+		return nil
+	}
+	kern, err := newKernel(kind, workers)
+	if err != nil {
+		return err
+	}
+	if m.kern != nil {
+		runtime.SetFinalizer(m, nil)
+		m.kern.close()
+	}
+	m.kern, m.kernKind, m.kernWorkers = kern, kind, workers
+	if kind != SerialKernel {
+		// Reclaim the worker pool of machines that are dropped without
+		// Close. The closure must capture the kernel, not the machine,
+		// or the finalizer could never fire; the pool keeps no reference
+		// back to the machine while idle.
+		runtime.SetFinalizer(m, func(*Machine) { kern.close() })
+	}
+	return nil
+}
+
+// nextProcessor picks processor pid's initial state for a fresh run: with
+// the same algorithm instance as the previous run, a processor stranded
+// by that run (live in procs or stashed in retired) is recycled through
+// Resettable; otherwise the algorithm builds a new one.
+func (m *Machine) nextProcessor(pid int, sameAlg bool) Processor {
+	if sameAlg {
+		cand := m.procs[pid]
+		if cand == nil {
+			cand = m.retired[pid]
+		}
+		if rp, ok := cand.(Resettable); ok {
+			m.retired[pid] = nil
+			rp.Reset(pid, m.cfg.N, m.cfg.P)
+			return cand
+		}
+	}
+	m.retired[pid] = nil
+	return m.alg.NewProcessor(pid, m.cfg.N, m.cfg.P)
+}
+
+// initDoneHint arms the incremental Done counter when the algorithm
+// volunteers an array hint and the config does not veto it. The counter
+// starts from the post-Setup memory so Setup writes are accounted.
+func (m *Machine) initDoneHint() {
+	m.hintLen, m.remaining = 0, 0
+	if m.cfg.DisableDoneHint {
+		return
+	}
+	h, ok := m.alg.(ArrayDoneHinter)
+	if !ok {
+		return
+	}
+	k := h.DoneCells(m.cfg.N, m.cfg.P)
+	if k <= 0 || k > m.mem.Size() {
+		return
+	}
+	m.hintLen = k
+	for addr := 0; addr < k; addr++ {
+		if m.mem.Load(addr) == 0 {
+			m.remaining++
+		}
+	}
+}
+
+// store commits one word to shared memory, maintaining the incremental
+// Done counter for hinted cells. All commit-phase stores go through it.
+func (m *Machine) store(addr int, v Word) {
+	if addr < m.hintLen {
+		old := m.mem.Load(addr)
+		if old == 0 && v != 0 {
+			m.remaining--
+		} else if old != 0 && v == 0 {
+			m.remaining++
+		}
+	}
+	m.mem.Store(addr, v)
+}
+
+// isDone evaluates the completion predicate: O(1) via the incremental
+// counter when hinted, the algorithm's polled Done otherwise.
+func (m *Machine) isDone() bool {
+	if m.hintLen > 0 {
+		return m.remaining == 0
+	}
+	return m.alg.Done(m.mem.View(), m.cfg.N, m.cfg.P)
+}
+
+// Close releases the resources of a machine with a worker-pool kernel; it
+// is a no-op for serial machines. Close must not be called concurrently
+// with Step, Run, or Reset. Machines that are simply dropped are
 // reclaimed by a finalizer, so calling Close is optional but makes
 // cleanup deterministic (e.g. in tests that build many machines).
 func (m *Machine) Close() {
-	m.closeOnce.Do(func() {
-		if pk, ok := m.kern.(*parallelKernel); ok {
-			runtime.SetFinalizer(m, nil)
-			pk.close()
-		}
-	})
+	if m.closed {
+		return
+	}
+	m.closed = true
+	runtime.SetFinalizer(m, nil)
+	if m.kern != nil {
+		m.kern.close()
+	}
 }
 
 // Memory exposes the machine's shared memory, e.g. for inspecting results.
@@ -239,7 +439,7 @@ func (m *Machine) Run() (Metrics, error) {
 // algorithm's Done predicate holds (checked before executing a tick, so a
 // completed task does no further work).
 func (m *Machine) Step() (bool, error) {
-	if m.alg.Done(m.mem.View(), m.cfg.N, m.cfg.P) {
+	if m.isDone() {
 		m.emitRunDone(nil)
 		return true, nil
 	}
@@ -286,12 +486,26 @@ func (m *Machine) Step() (bool, error) {
 	}
 	dec := m.adv.Decide(&m.view)
 
-	// Phase 3: liveness enforcement. At least one alive, scheduled
-	// processor must complete its cycle this tick.
+	// Phase 3: resolve the adversary's failure map into the per-PID
+	// failBuf (one indexed read per processor afterwards, no map lookups
+	// in PID loops) and enforce liveness: at least one alive, scheduled
+	// processor must complete its cycle this tick. Ticks without
+	// failures skip both loops entirely.
+	if m.failDirty {
+		clear(m.failBuf)
+		m.failDirty = false
+	}
 	survivors := alive
-	for pid, fp := range dec.Failures {
-		if fp != NoFailure && pid >= 0 && pid < m.cfg.P && m.states[pid] == Alive && m.intents[pid] != nil {
-			survivors--
+	if len(dec.Failures) > 0 {
+		m.failDirty = true
+		for pid, fp := range dec.Failures {
+			if fp == NoFailure || pid < 0 || pid >= m.cfg.P {
+				continue
+			}
+			m.failBuf[pid] = fp
+			if m.states[pid] == Alive && m.intents[pid] != nil {
+				survivors--
+			}
 		}
 	}
 	if survivors == 0 {
@@ -299,7 +513,7 @@ func (m *Machine) Step() (bool, error) {
 			return false, m.fail(fmt.Errorf("%w at tick %d (adversary=%s)",
 				ErrIllegalAdversary, m.tick, m.adv.Name()))
 		}
-		m.spareOne(dec.Failures)
+		m.spareOne()
 		m.metrics.Vetoes++
 	}
 
@@ -313,12 +527,12 @@ func (m *Machine) Step() (bool, error) {
 			continue
 		}
 		ctx := m.ctxs[pid]
-		fp := dec.Failures[pid]
+		fp := m.failBuf[pid]
 		if m.intents[pid] == nil {
 			// Unscheduled this tick: only death can happen.
 			if fp != NoFailure {
 				m.states[pid] = Dead
-				m.procs[pid] = nil
+				m.retire(pid)
 				m.metrics.Failures++
 			}
 			continue
@@ -326,7 +540,7 @@ func (m *Machine) Step() (bool, error) {
 		pc := pendingCommit{pid: pid, fail: fp}
 		switch fp {
 		case NoFailure:
-			pc.writes = ctx.writes
+			pc.writes = ctx.writeOps()
 			pc.stableSet = ctx.stableSet
 			pc.stable = ctx.newStable
 			pc.halts = m.intents[pid].Halts
@@ -338,8 +552,8 @@ func (m *Machine) Step() (bool, error) {
 			pc.started = true
 		case FailAfterWrite1:
 			pc.started = true
-			if len(ctx.writes) > 0 {
-				pc.writes = ctx.writes[:1]
+			if ctx.nWrites > 0 {
+				pc.writes = ctx.writeOps()[:1]
 			}
 		default:
 			return false, m.fail(fmt.Errorf("pram: adversary %s returned invalid fail point %d for pid %d",
@@ -347,7 +561,7 @@ func (m *Machine) Step() (bool, error) {
 		}
 		if fp != NoFailure {
 			m.states[pid] = Dead
-			m.procs[pid] = nil
+			m.retire(pid)
 			m.metrics.Failures++
 			if pc.started {
 				m.metrics.Incomplete++
@@ -373,7 +587,7 @@ func (m *Machine) Step() (bool, error) {
 		}
 		if pc.halts {
 			m.states[pc.pid] = Halted
-			m.procs[pc.pid] = nil
+			m.retire(pc.pid)
 		}
 	}
 	m.emitCycleEvents()
@@ -385,7 +599,7 @@ func (m *Machine) Step() (bool, error) {
 	m.tick++
 	m.metrics.Ticks = m.tick
 	m.emitTick(alive, before)
-	if m.alg.Done(m.mem.View(), m.cfg.N, m.cfg.P) {
+	if m.isDone() {
 		m.emitRunDone(nil)
 		return true, nil
 	}
@@ -420,7 +634,7 @@ func (m *Machine) emitCycleEvents() {
 		pc := &m.pending[i]
 		arrayWrites := 0
 		for _, w := range pc.writes { // exactly the committed prefix
-			if w.addr < m.cfg.N {
+			if w.Addr < m.cfg.N {
 				arrayWrites++
 			}
 		}
@@ -523,18 +737,43 @@ func (m *Machine) applyRestarts(restarts []int) {
 			continue
 		}
 		m.states[pid] = Alive
-		m.procs[pid] = m.alg.NewProcessor(pid, m.cfg.N, m.cfg.P)
+		m.procs[pid] = m.reviveProcessor(pid)
 		m.metrics.Restarts++
 	}
 }
 
+// retire drops processor pid's private state (it died or halted),
+// stashing it for recycling when it supports in-place reinitialization.
+func (m *Machine) retire(pid int) {
+	if rp, ok := m.procs[pid].(Resettable); ok && rp != nil {
+		m.retired[pid] = m.procs[pid]
+	}
+	m.procs[pid] = nil
+}
+
+// reviveProcessor returns the restarted incarnation of processor pid:
+// the retired one reset in place when possible (bit-identical to a fresh
+// one by the Resettable contract — a restarted processor knows only its
+// PID and machine parameters), a fresh NewProcessor otherwise.
+func (m *Machine) reviveProcessor(pid int) Processor {
+	if cand := m.retired[pid]; cand != nil {
+		if rp, ok := cand.(Resettable); ok {
+			m.retired[pid] = nil
+			rp.Reset(pid, m.cfg.N, m.cfg.P)
+			return cand
+		}
+	}
+	return m.alg.NewProcessor(pid, m.cfg.N, m.cfg.P)
+}
+
 // spareOne clears the failure of the lowest-PID targeted alive processor
 // that is actually executing this tick, so that at least one update cycle
-// completes.
-func (m *Machine) spareOne(failures map[int]FailPoint) {
+// completes. It adjusts only the machine's failBuf resolution, never the
+// adversary's own decision map.
+func (m *Machine) spareOne() {
 	for pid := 0; pid < m.cfg.P; pid++ {
-		if m.states[pid] == Alive && m.intents[pid] != nil && failures[pid] != NoFailure {
-			delete(failures, pid)
+		if m.states[pid] == Alive && m.intents[pid] != nil && m.failBuf[pid] != NoFailure {
+			m.failBuf[pid] = NoFailure
 			return
 		}
 	}
@@ -553,8 +792,8 @@ func (m *Machine) validateCycle(ctx *Ctx) error {
 	if ctx.reads > m.metrics.MaxReads {
 		m.metrics.MaxReads = ctx.reads
 	}
-	if len(ctx.writes) > m.metrics.MaxWrites {
-		m.metrics.MaxWrites = len(ctx.writes)
+	if ctx.nWrites > m.metrics.MaxWrites {
+		m.metrics.MaxWrites = ctx.nWrites
 	}
 	m.metrics.Snapshots += int64(ctx.snapshots)
 	if ctx.snapshots > 0 && !m.cfg.AllowSnapshot {
@@ -567,9 +806,9 @@ func (m *Machine) validateCycle(ctx *Ctx) error {
 	if m.cfg.CycleWriteBudget > 0 {
 		writeBudget = m.cfg.CycleWriteBudget
 	}
-	if ctx.snapshots == 0 && (ctx.reads > readBudget || len(ctx.writes) > writeBudget) {
+	if ctx.snapshots == 0 && (ctx.reads > readBudget || ctx.nWrites > writeBudget) {
 		return fmt.Errorf("%w (algorithm=%s, pid=%d, reads=%d, writes=%d)",
-			ErrCycleLimit, m.alg.Name(), ctx.pid, ctx.reads, len(ctx.writes))
+			ErrCycleLimit, m.alg.Name(), ctx.pid, ctx.reads, ctx.nWrites)
 	}
 	return nil
 }
@@ -590,9 +829,10 @@ type taggedWrite struct {
 // writes in program order.
 func (m *Machine) commitWrites() error {
 	m.writeBuf = m.writeBuf[:0]
-	for _, pc := range m.pending {
+	for i := range m.pending {
+		pc := &m.pending[i]
 		for _, w := range pc.writes {
-			m.writeBuf = append(m.writeBuf, taggedWrite{addr: w.addr, pid: pc.pid, val: w.val})
+			m.writeBuf = append(m.writeBuf, taggedWrite{addr: w.Addr, pid: pc.pid, val: w.Val})
 		}
 	}
 	if len(m.writeBuf) == 0 {
@@ -625,16 +865,16 @@ func (m *Machine) commitWrites() error {
 						ErrCommonViolation, w.addr, group[0].val, group[0].pid, w.val, w.pid, m.tick)
 				}
 			}
-			m.mem.Store(group[0].addr, group[0].val)
+			m.store(group[0].addr, group[0].val)
 		case Arbitrary, Priority:
 			// Deterministic: the lowest PID in the group comes first.
-			m.mem.Store(group[0].addr, group[0].val)
+			m.store(group[0].addr, group[0].val)
 		case CREW, EREW:
 			if len(group) > 1 {
 				return fmt.Errorf("%w: concurrent write of cell %d at tick %d",
 					ErrExclusiveViolation, group[0].addr, m.tick)
 			}
-			m.mem.Store(group[0].addr, group[0].val)
+			m.store(group[0].addr, group[0].val)
 		default:
 			return fmt.Errorf("pram: invalid write policy %d", m.cfg.Policy)
 		}

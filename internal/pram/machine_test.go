@@ -48,6 +48,10 @@ type testProc struct {
 
 func (p *testProc) Cycle(ctx *Ctx) Status { return p.cycle(p.pid, ctx) }
 
+// Reset implements Resettable: a testProc's only state is its PID and the
+// algorithm's cycle closure, which same-instance gating keeps valid.
+func (p *testProc) Reset(pid, n, pp int) { p.pid = pid }
+
 // funcAdversary adapts a closure to the Adversary interface.
 type funcAdversary struct {
 	name string

@@ -14,6 +14,20 @@ func NewMemory(size int) *Memory {
 	return &Memory{cells: make([]Word, size)}
 }
 
+// Reset resizes the memory to size cells and zeroes all of them, reusing
+// the existing allocation when its capacity suffices. Outstanding
+// MemoryView values stay valid either way (they hold the *Memory, not the
+// backing slice). Machine.Reset uses it to recycle shared memory across
+// pooled runs.
+func (m *Memory) Reset(size int) {
+	if cap(m.cells) < size {
+		m.cells = make([]Word, size)
+		return
+	}
+	m.cells = m.cells[:size]
+	clear(m.cells)
+}
+
 // Size returns the number of addressable cells.
 func (m *Memory) Size() int { return len(m.cells) }
 

@@ -1,0 +1,143 @@
+package pram
+
+import "testing"
+
+// TestMemoryCopyIntoGrowAndReuse pins CopyInto's contract: a destination
+// with enough capacity is reused in place (no allocation — what keeps
+// repeated snapshots allocation-free), a short one is replaced by a fresh
+// slice, and the result is always an independent copy of the cells.
+func TestMemoryCopyIntoGrowAndReuse(t *testing.T) {
+	m := NewMemory(8)
+	for i := 0; i < 8; i++ {
+		m.Store(i, Word(i+1))
+	}
+
+	t.Run("nil-dst-allocates", func(t *testing.T) {
+		out := m.CopyInto(nil)
+		if len(out) != 8 {
+			t.Fatalf("len = %d, want 8", len(out))
+		}
+		for i := range out {
+			if out[i] != Word(i+1) {
+				t.Fatalf("out[%d] = %d, want %d", i, out[i], i+1)
+			}
+		}
+	})
+
+	t.Run("capacious-dst-reused", func(t *testing.T) {
+		dst := make([]Word, 0, 32)
+		out := m.CopyInto(dst)
+		if len(out) != 8 {
+			t.Fatalf("len = %d, want 8", len(out))
+		}
+		if &out[0] != &dst[:1][0] {
+			t.Error("CopyInto reallocated despite sufficient capacity")
+		}
+		if avg := testing.AllocsPerRun(100, func() { out = m.CopyInto(out) }); avg != 0 {
+			t.Errorf("reusing CopyInto allocates %.2f objects/op, want 0", avg)
+		}
+	})
+
+	t.Run("long-dst-trimmed", func(t *testing.T) {
+		dst := make([]Word, 20)
+		dst[19] = 99
+		out := m.CopyInto(dst)
+		if len(out) != 8 {
+			t.Fatalf("len = %d, want 8 (trimmed to memory size)", len(out))
+		}
+		if &out[0] != &dst[0] {
+			t.Error("CopyInto reallocated despite sufficient capacity")
+		}
+	})
+
+	t.Run("short-dst-grown", func(t *testing.T) {
+		dst := make([]Word, 2)
+		out := m.CopyInto(dst)
+		if len(out) != 8 {
+			t.Fatalf("len = %d, want 8", len(out))
+		}
+		if &out[0] == &dst[0] {
+			t.Error("CopyInto kept a destination that was too small")
+		}
+		if dst[0] != 0 || dst[1] != 0 {
+			t.Error("CopyInto scribbled on the rejected short destination")
+		}
+	})
+
+	t.Run("aliasing-safety", func(t *testing.T) {
+		out := m.CopyInto(nil)
+		out[0] = 1000
+		if m.Load(0) != 1 {
+			t.Error("mutating the copy changed the memory")
+		}
+		m.Store(1, 2000)
+		if out[1] != 2 {
+			t.Error("mutating the memory changed an earlier copy")
+		}
+		m.Store(1, 2) // restore
+	})
+}
+
+// TestMemoryResetReuse pins Memory.Reset: same-or-smaller sizes reuse the
+// backing array and zero every cell; larger sizes grow.
+func TestMemoryResetReuse(t *testing.T) {
+	m := NewMemory(16)
+	for i := 0; i < 16; i++ {
+		m.Store(i, 7)
+	}
+	m.Reset(8)
+	if m.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", m.Size())
+	}
+	for i := 0; i < 8; i++ {
+		if m.Load(i) != 0 {
+			t.Fatalf("cell %d = %d after Reset, want 0", i, m.Load(i))
+		}
+	}
+	// Growing back within the original capacity must expose zeroed cells,
+	// not the stale 7s beyond the previous length.
+	m.Store(0, 1)
+	m.Reset(16)
+	for i := 0; i < 16; i++ {
+		if m.Load(i) != 0 {
+			t.Fatalf("cell %d = %d after regrow Reset, want 0", i, m.Load(i))
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() { m.Reset(16) }); avg != 0 {
+		t.Errorf("same-size Reset allocates %.2f objects/op, want 0", avg)
+	}
+	m.Reset(64)
+	if m.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", m.Size())
+	}
+	for i := 0; i < 64; i++ {
+		if m.Load(i) != 0 {
+			t.Fatalf("cell %d = %d after growing Reset, want 0", i, m.Load(i))
+		}
+	}
+}
+
+// TestCtxSnapshotGrowAndReuse pins the snapshot instruction's buffer
+// semantics as the oblivious algorithm depends on them: the first
+// snapshot allocates, subsequent snapshots into the returned buffer reuse
+// it, and the snapshot is a copy, immune to later commits.
+func TestCtxSnapshotGrowAndReuse(t *testing.T) {
+	m := NewMemory(8)
+	m.Store(3, 42)
+	c := &Ctx{mem: m.View()}
+
+	snap := c.Snapshot(nil)
+	if len(snap) != 8 || snap[3] != 42 {
+		t.Fatalf("snapshot = %v, want cell 3 = 42, len 8", snap)
+	}
+	if avg := testing.AllocsPerRun(100, func() { snap = c.Snapshot(snap) }); avg != 0 {
+		t.Errorf("snapshot reuse allocates %.2f objects/op, want 0", avg)
+	}
+	m.Store(3, 7)
+	if snap[3] != 42 {
+		t.Error("snapshot aliased live memory: later Store leaked into it")
+	}
+	if c.snapshots == 0 {
+		t.Error("Snapshot did not count toward the cycle's snapshot charge")
+	}
+}

@@ -1,0 +1,54 @@
+package pram
+
+// Runner executes many runs on one pooled Machine, so sweep drivers (the
+// experiment tables, bench.Points, benchmarks) stop reconstructing the
+// world per run: shared memory, contexts, scratch buffers, the kernel
+// worker pool, and — for Resettable processors of a reused Algorithm
+// instance — per-processor private state all carry over. Runs are
+// bit-identical to fresh Machines (see Machine.Reset). The zero value is
+// ready to use; a Runner must not be used concurrently, but independent
+// Runners are safe in parallel (bench.Points keeps one per goroutine via
+// a sync.Pool).
+type Runner struct {
+	m *Machine
+}
+
+// Run executes one complete run of alg against adv under cfg on the
+// pooled machine, returning its final metrics.
+func (r *Runner) Run(cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
+	m, err := r.Machine(cfg, alg, adv)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.Run()
+}
+
+// Machine readies the pooled machine for a run of alg against adv under
+// cfg and returns it, for callers that need the machine handle (stepping
+// manually, inspecting memory or per-processor state afterwards). The
+// returned machine is owned by the Runner and is valid until the next
+// Run/Machine/Close call.
+func (r *Runner) Machine(cfg Config, alg Algorithm, adv Adversary) (*Machine, error) {
+	if r.m == nil {
+		m, err := New(cfg, alg, adv)
+		if err != nil {
+			return nil, err
+		}
+		r.m = m
+		return m, nil
+	}
+	if err := r.m.Reset(cfg, alg, adv); err != nil {
+		return nil, err
+	}
+	return r.m, nil
+}
+
+// Close releases the pooled machine's resources (its kernel worker pool,
+// if any). The Runner is reusable afterwards; the next run builds a fresh
+// machine.
+func (r *Runner) Close() {
+	if r.m != nil {
+		r.m.Close()
+		r.m = nil
+	}
+}

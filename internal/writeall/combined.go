@@ -66,6 +66,15 @@ type combinedProc struct {
 	x *xProc
 }
 
+// Reset implements pram.Resettable, rebuilding both component
+// processors with Combined's clock mapping and stacked layouts (X's
+// tree at N, V's structures after it), matching Combined.NewProcessor.
+func (c *combinedProc) Reset(pid, n, p int) {
+	x := NewTreeLayout(n, p, n)
+	*c.x = xProc{pid: pid, lay: x}
+	*c.v = vProc{pid: pid, lay: NewVLayout(n, p, x.Base+x.Size()), tickDiv: 2}
+}
+
 // Cycle implements pram.Processor.
 func (c *combinedProc) Cycle(ctx *pram.Ctx) pram.Status {
 	if ctx.Tick()%2 == 0 {

@@ -43,6 +43,13 @@ type obliviousProc struct {
 	snap      []pram.Word // scratch, reused across cycles
 }
 
+// Reset implements pram.Resettable. The snapshot scratch is kept: it is
+// overwritten in full by the next Snapshot, so a recycled processor is
+// indistinguishable from a fresh one.
+func (o *obliviousProc) Reset(pid, n, p int) {
+	*o = obliviousProc{pid: pid, n: n, p: p, snap: o.snap}
+}
+
 // Cycle implements pram.Processor: one unit-cost snapshot, local
 // balancing, one write.
 func (o *obliviousProc) Cycle(ctx *pram.Ctx) pram.Status {

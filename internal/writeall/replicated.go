@@ -42,6 +42,9 @@ type replicatedProc struct {
 	k      int // private sweep position; lost on failure
 }
 
+// Reset implements pram.Resettable.
+func (r *replicatedProc) Reset(pid, n, p int) { *r = replicatedProc{pid: pid, n: n} }
+
 // Cycle implements pram.Processor: read one cell, write it if unset.
 func (r *replicatedProc) Cycle(ctx *pram.Ctx) pram.Status {
 	if r.k >= r.n {

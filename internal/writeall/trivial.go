@@ -37,6 +37,10 @@ type trivialProc struct {
 	k         int // private: next stride index; lost on failure
 }
 
+// Reset implements pram.Resettable: a fresh incarnation restarts the
+// stride from the beginning, exactly like NewProcessor.
+func (t *trivialProc) Reset(pid, n, p int) { *t = trivialProc{pid: pid, n: n, p: p} }
+
 // Cycle implements pram.Processor.
 func (t *trivialProc) Cycle(ctx *pram.Ctx) pram.Status {
 	addr := t.pid + t.k*t.p
@@ -82,6 +86,9 @@ func (s *Sequential) Done(mem pram.MemoryView, n, p int) bool { return s.done(me
 type sequentialProc struct {
 	pid, n int
 }
+
+// Reset implements pram.Resettable.
+func (s *sequentialProc) Reset(pid, n, p int) { *s = sequentialProc{pid: pid, n: n} }
 
 // Cycle implements pram.Processor.
 func (s *sequentialProc) Cycle(ctx *pram.Ctx) pram.Status {

@@ -80,6 +80,13 @@ func newVProc(pid int, lay VLayout, tickShift, tickDiv int) *vProc {
 	return &vProc{pid: pid, lay: lay, tickShift: tickShift, tickDiv: tickDiv}
 }
 
+// Reset implements pram.Resettable for the standalone V algorithm,
+// matching V.NewProcessor (tickShift 0, tickDiv 1). Combined resets its
+// component vProc itself with its own clock mapping.
+func (v *vProc) Reset(pid, n, p int) {
+	*v = vProc{pid: pid, lay: NewVLayout(n, p, n), tickDiv: 1}
+}
+
 // Cycle implements pram.Processor. The phase is derived from the global
 // synchronous clock: offset o = vt mod T with T the fixed iteration
 // length. Every branch stays within the update-cycle budget (at most 4

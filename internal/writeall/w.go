@@ -111,6 +111,9 @@ type wProc struct {
 	block  int // allocated leaf block (W3, W4)
 }
 
+// Reset implements pram.Resettable, matching W.NewProcessor.
+func (w *wProc) Reset(pid, n, p int) { *w = wProc{pid: pid, lay: NewWLayout(n, p)} }
+
 // Cycle implements pram.Processor.
 func (w *wProc) Cycle(ctx *pram.Ctx) pram.Status {
 	l := w.lay

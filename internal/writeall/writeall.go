@@ -58,6 +58,12 @@ func (a *arrayDone) done(mem pram.MemoryView, n int) bool {
 	return a.cursor >= n
 }
 
+// DoneCells implements pram.ArrayDoneHinter for every embedding
+// algorithm: the Write-All task is complete exactly when cells [0, N)
+// are all non-zero, so the machine can maintain an O(1) remaining-unset
+// counter instead of polling done every tick.
+func (a *arrayDone) DoneCells(n, p int) int { return n }
+
 // Verify reports whether the Write-All postcondition holds: every cell of
 // x[0..n) is non-zero.
 func Verify(mem *pram.Memory, n int) bool {

@@ -97,6 +97,13 @@ const (
 	xActionLoop pram.Word = 1
 )
 
+// Reset implements pram.Resettable. Processor options are per-instance
+// algorithm configuration, and the machine recycles processors only for
+// the same Algorithm value, so keeping opts matches X.NewProcessor.
+func (x *xProc) Reset(pid, n, p int) {
+	*x = xProc{pid: pid, lay: NewTreeLayout(n, p, n), opts: x.opts}
+}
+
 // Cycle implements pram.Processor. It is a direct transcription of the
 // Figure 5 pseudocode; every branch performs at most four shared reads and
 // one shared write, so the body is one update cycle.

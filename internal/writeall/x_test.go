@@ -230,6 +230,11 @@ func (f fullTerminationX) Done(mem pram.MemoryView, n, p int) bool {
 	return mem.Load(lay.D(1)) != 0
 }
 
+// DoneCells declines the array done hint promoted from the embedded X:
+// this wrapper's Done is not the array predicate, so the machine must
+// poll it.
+func (f fullTerminationX) DoneCells(n, p int) int { return 0 }
+
 // TestXTimeBoundsLemma44: with N processors and no failures, X is a
 // correct Omega(log N) and O(N) *time* algorithm (Lemma 4.4), measured to
 // its own termination (root marked), not just task completion.

@@ -51,6 +51,16 @@ type xInPlaceProc struct {
 	leaves    int // first leaf node (t/2, min 1)
 }
 
+// Reset implements pram.Resettable, matching XInPlace.NewProcessor.
+func (x *xInPlaceProc) Reset(pid, n, p int) {
+	t := NextPow2(n)
+	leaves := t / 2
+	if leaves == 0 {
+		leaves = 1
+	}
+	*x = xInPlaceProc{pid: pid, n: n, p: p, t: t, leaves: leaves}
+}
+
 // wAddr returns the processor's position cell.
 func (x *xInPlaceProc) wAddr() int { return x.n + x.pid }
 

@@ -107,6 +107,8 @@ func TestKernelEquivalence(t *testing.T) {
 					par := runUnderKernel(t, alg.mk, adv.mk, alg.cfg, ParallelKernel, workers)
 					assertRunsEqual(t, fmt.Sprintf("workers=%d", workers), serial, par)
 				}
+				auto := runUnderKernel(t, alg.mk, adv.mk, alg.cfg, AutoKernel, 3)
+				assertRunsEqual(t, "auto/workers=3", serial, auto)
 			})
 		}
 	}
@@ -151,6 +153,33 @@ func assertRunsEqual(t *testing.T, label string, serial, par kernelRun) {
 	}
 	if !reflect.DeepEqual(serial.trace.runs, par.trace.runs) {
 		t.Errorf("%s: run events diverge: %+v vs %+v", label, serial.trace.runs, par.trace.runs)
+	}
+}
+
+// TestKernelEquivalenceAutoProbing repeats the contract for AutoKernel at
+// a P large enough (several shards, several workers) that the adaptive
+// kernel actually runs its timed serial and parallel probe windows rather
+// than short-circuiting to the serial walk. Probe timing must never leak
+// into results — only into engine choice.
+func TestKernelEquivalenceAutoProbing(t *testing.T) {
+	const n, p = 256, 256
+	base := Config{N: n, P: p, MaxTicks: 8000}
+	for _, tc := range []struct {
+		name  string
+		mk    func() Algorithm
+		mkAdv func() Adversary
+	}{
+		{"X/random", NewX, func() Adversary { return RandomFailures(0.2, 0.6, 7) }},
+		{"trivial/thrashing", NewTrivial, func() Adversary { return ThrashingAdversary(false) }},
+		{"V/none", NewV, NoFailures},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := runUnderKernel(t, tc.mk, tc.mkAdv, base, SerialKernel, 0)
+			for _, workers := range []int{2, 3} {
+				auto := runUnderKernel(t, tc.mk, tc.mkAdv, base, AutoKernel, workers)
+				assertRunsEqual(t, fmt.Sprintf("auto/workers=%d", workers), serial, auto)
+			}
+		})
 	}
 }
 
