@@ -29,11 +29,12 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# race-equiv runs just the kernel/pooling determinism contracts under the
-# race detector: the parallel kernel's sharded attempt phase and the
-# pooled Runner's buffer reuse are the two places a data race could hide.
+# race-equiv runs just the kernel/pooling/checkpoint determinism
+# contracts under the race detector: the parallel kernel's sharded
+# attempt phase, the pooled Runner's buffer reuse, and snapshot/resume's
+# state capture are the places a data race could hide.
 race-equiv:
-	$(GO) test -race -run 'TestKernelEquivalence|TestPooledRun|TestDoneHint' .
+	$(GO) test -race -run 'TestKernelEquivalence|TestPooledRun|TestDoneHint|TestResumeEquivalence' .
 
 bench:
 	$(GO) test -bench . -benchmem ./...

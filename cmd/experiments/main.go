@@ -5,15 +5,23 @@
 // Usage:
 //
 //	experiments [-run E6[,E9,...]] [-full]
+//	experiments -checkpoint-dir DIR          # journal per-experiment results
+//	experiments -checkpoint-dir DIR -resume  # re-run only unfinished ones
 //
 // Without -run it executes every experiment; -full uses the (slower) sizes
-// recorded in EXPERIMENTS.md instead of the quick ones.
+// recorded in EXPERIMENTS.md instead of the quick ones. With
+// -checkpoint-dir each finished experiment's tables are journaled to
+// DIR/journal.jsonl as they complete; after an interruption, -resume
+// replays the journaled tables verbatim and re-runs only the experiments
+// the journal is missing, producing the same output as an uninterrupted
+// sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -34,9 +42,14 @@ func run(args []string) error {
 		full     = fs.Bool("full", false, "use the full sizes recorded in EXPERIMENTS.md")
 		format   = fs.String("format", "text", "output format: text or markdown")
 		parallel = fs.Int("parallel", 1, "sweep points evaluated concurrently (0 = GOMAXPROCS); output is identical at any setting")
+		ckptDir  = fs.String("checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
+		resume   = fs.Bool("resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	bench.SetParallelism(*parallel)
 
@@ -51,20 +64,64 @@ func run(args []string) error {
 		}
 	}
 
+	var journal *bench.Journal
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("create checkpoint dir: %w", err)
+		}
+		path := filepath.Join(*ckptDir, "journal.jsonl")
+		if !*resume {
+			// A fresh sweep must not inherit a previous run's journal.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("clear journal: %w", err)
+			}
+		}
+		var err error
+		journal, err = bench.OpenJournal(path)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+
+	render := func(tables []bench.Table) {
+		for i := range tables {
+			switch *format {
+			case "markdown", "md":
+				tables[i].RenderMarkdown(os.Stdout)
+			default:
+				tables[i].Render(os.Stdout)
+			}
+		}
+	}
+
 	ran := 0
 	for _, e := range bench.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		start := time.Now()
-		for _, table := range e.Run(scale) {
-			switch *format {
-			case "markdown", "md":
-				table.RenderMarkdown(os.Stdout)
-			default:
-				table.Render(os.Stdout)
+		key := fmt.Sprintf("%s/scale=%d", e.ID, scale)
+		if journal != nil {
+			var tables []bench.Table
+			if ok, err := journal.Get(key, &tables); err != nil {
+				return err
+			} else if ok {
+				render(tables)
+				if *format == "text" {
+					fmt.Printf("  [%s replayed from journal]\n\n", e.ID)
+				}
+				ran++
+				continue
 			}
 		}
+		start := time.Now()
+		tables := e.Run(scale)
+		if journal != nil {
+			if err := journal.Put(key, tables); err != nil {
+				return err
+			}
+		}
+		render(tables)
 		if *format == "text" {
 			fmt.Printf("  [%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,5 +31,77 @@ func TestRunAcceptsLowercaseIDs(t *testing.T) {
 	}
 	if err := run([]string{"-run", "e13"}); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// captureRun runs the CLI with stdout redirected and returns its output.
+func captureRun(t *testing.T, args ...string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	runErr := run(args)
+	os.Stdout = old
+	w.Close()
+	<-done
+	if runErr != nil {
+		t.Fatalf("run(%v): %v", args, runErr)
+	}
+	return buf.String()
+}
+
+// TestRunResumesInterruptedSweep simulates an interrupted sweep: the
+// first invocation journals only E4, the resumed invocation must replay
+// E4 from the journal (not re-run it) and run only E13, and the combined
+// output must match an uninterrupted sweep table for table.
+func TestRunResumesInterruptedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+
+	// Markdown output omits the wall-clock lines, so uninterrupted and
+	// resumed sweeps are comparable byte for byte.
+	want := captureRun(t, "-run", "E4,E13", "-format", "markdown")
+
+	captureRun(t, "-run", "E4", "-format", "markdown", "-checkpoint-dir", dir)
+	firstHalf, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if lines := strings.Count(string(firstHalf), "\n"); lines != 1 {
+		t.Fatalf("journal has %d entries after interrupted sweep, want 1", lines)
+	}
+
+	got := captureRun(t, "-run", "E4,E13", "-format", "markdown", "-checkpoint-dir", dir, "-resume")
+	if got != want {
+		t.Errorf("resumed sweep output diverges from uninterrupted sweep:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	resumedJournal, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	if lines := strings.Count(string(resumedJournal), "\n"); lines != 2 {
+		t.Errorf("journal has %d entries after resume, want 2", lines)
+	}
+	if !strings.HasPrefix(string(resumedJournal), string(firstHalf)) {
+		t.Error("resume rewrote the already-journaled entry")
+	}
+}
+
+func TestRunResumeRequiresCheckpointDir(t *testing.T) {
+	err := run([]string{"-resume", "-run", "E4"})
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Errorf("err = %v, want -checkpoint-dir requirement", err)
 	}
 }

@@ -5,6 +5,8 @@
 //
 //	writeall -alg X -adv halving -n 1024 -p 1024
 //	writeall -alg combined -adv random -fail 0.2 -restart 0.5 -seed 7 -n 512 -p 64
+//	writeall -alg X -adv random -snapshot run.snap -snapshot-every 256
+//	writeall -alg X -adv random -restore run.snap
 //
 // Algorithms: X, V, combined, W, oblivious, ACC, trivial, sequential.
 // Adversaries: none, random, thrashing, rotating, halving, postorder,
@@ -47,9 +49,27 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "run the parallel tick kernel with this many workers (0 = serial, -1 = GOMAXPROCS)")
 		record   = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
 		replay   = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
+		snapshot = fs.String("snapshot", "", "checkpoint the machine to this file every -snapshot-every ticks (atomic overwrite)")
+		snapEvry = fs.Int("snapshot-every", 1024, "checkpoint interval in ticks (with -snapshot)")
+		restore  = fs.String("restore", "", "resume from a snapshot file instead of starting fresh (-n/-p come from the snapshot; -alg/-adv/-seed must match the original run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *snapshot != "" && *snapEvry < 1 {
+		return fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvry)
+	}
+
+	var snap *pram.Snapshot
+	if *restore != "" {
+		var err error
+		snap, err = pram.LoadSnapshot(*restore)
+		if err != nil {
+			return err
+		}
+		// The snapshot fixes the machine shape; flags only select the
+		// (matching) algorithm and adversary constructions.
+		*n, *p = snap.N, snap.P
 	}
 	if *p == 0 {
 		*p = *n
@@ -165,7 +185,14 @@ func run(args []string) error {
 		adv = recorder
 	}
 
-	m, err := failstop.RunWriteAll(alg, adv, cfg)
+	runner := &pram.Runner{CheckpointPath: *snapshot, CheckpointEvery: *snapEvry}
+	var m failstop.Metrics
+	var err error
+	if snap != nil {
+		m, err = runner.Resume(cfg, alg, adv, snap)
+	} else {
+		m, err = runner.Run(cfg, alg, adv)
+	}
 	if err != nil {
 		return fmt.Errorf("%s under %s: %w", alg.Name(), adv.Name(), err)
 	}

@@ -85,3 +85,50 @@ func TestRunReplayRejectsMissingFile(t *testing.T) {
 		t.Fatal("want error for missing pattern file")
 	}
 }
+
+func TestRunSnapshotAndRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.snap")
+	// A run churny enough to outlast several checkpoint intervals.
+	args := []string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-seed", "5", "-n", "128", "-p", "32"}
+	if err := run(append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
+		t.Fatalf("snapshot run: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	// Resuming the checkpoint with matching -alg/-adv/-seed must finish
+	// cleanly; -n/-p come from the snapshot, so we omit them.
+	if err := run([]string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-seed", "5", "-restore", path}); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+}
+
+func TestRunRestoreRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.snap")
+	args := []string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-n", "128", "-p", "32"}
+	if err := run(append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
+		t.Fatalf("snapshot run: %v", err)
+	}
+	if err := run([]string{"-alg", "V", "-adv", "random", "-restore", path}); err == nil {
+		t.Fatal("want error resuming an X snapshot with -alg V")
+	}
+}
+
+func TestRunRestoreRejectsMissingOrCorruptFile(t *testing.T) {
+	if err := run([]string{"-restore", filepath.Join(t.TempDir(), "absent.snap")}); err == nil {
+		t.Fatal("want error for missing snapshot file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-restore", bad}); err == nil {
+		t.Fatal("want error for corrupt snapshot file")
+	}
+}
+
+func TestRunRejectsBadSnapshotInterval(t *testing.T) {
+	if err := run([]string{"-snapshot", "x.snap", "-snapshot-every", "0", "-n", "16"}); err == nil {
+		t.Fatal("want error for -snapshot-every 0")
+	}
+}

@@ -57,6 +57,13 @@ type (
 	ProcTracker = pram.ProcTracker
 	// JSONL is a Sink streaming events as JSON lines.
 	JSONL = pram.JSONL
+	// Snapshotter marks components (processors, algorithms, adversaries)
+	// whose private state can be captured into and restored from a
+	// machine snapshot.
+	Snapshotter = pram.Snapshotter
+	// Snapshot is a machine's complete mid-run state, as captured by
+	// Machine.Snapshot and replayed by Machine.RestoreSnapshot.
+	Snapshot = pram.Snapshot
 	// Program is an N-processor synchronous PRAM program for the robust
 	// executor.
 	Program = core.Program
@@ -203,6 +210,13 @@ func RunWriteAll(alg Algorithm, adv Adversary, cfg Config) (Metrics, error) {
 	}
 	return m.Run()
 }
+
+// SaveSnapshot writes a snapshot to path atomically (write-tmp-rename).
+func SaveSnapshot(path string, s *Snapshot) error { return pram.SaveSnapshot(path, s) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot, verifying its
+// format version and checksum.
+func LoadSnapshot(path string) (*Snapshot, error) { return pram.LoadSnapshot(path) }
 
 // Result is the outcome of a robust program execution.
 type Result struct {

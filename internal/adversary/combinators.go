@@ -54,7 +54,50 @@ func (c *Composite) Decide(v *pram.View) pram.Decision {
 	return out
 }
 
+// SnapshotState implements pram.Snapshotter, concatenating each part's
+// state behind a per-part length prefix. Parts without Snapshotter are
+// treated as stateless.
+func (c *Composite) SnapshotState() []pram.Word {
+	var state []pram.Word
+	for _, p := range c.parts {
+		var ps []pram.Word
+		if s, ok := p.(pram.Snapshotter); ok {
+			ps = s.SnapshotState()
+		}
+		state = append(state, pram.Word(len(ps)))
+		state = append(state, ps...)
+	}
+	return state
+}
+
+// RestoreState implements pram.Snapshotter.
+func (c *Composite) RestoreState(state []pram.Word) error {
+	for _, p := range c.parts {
+		if len(state) < 1 {
+			return pram.StateLenError("adversary: composite", len(state), 1)
+		}
+		n := int(state[0])
+		if n < 0 || len(state) < 1+n {
+			return pram.StateLenError("adversary: composite part", len(state)-1, n)
+		}
+		part := state[1 : 1+n]
+		state = state[1+n:]
+		if s, ok := p.(pram.Snapshotter); ok {
+			if err := s.RestoreState(part); err != nil {
+				return err
+			}
+		} else if n != 0 {
+			return pram.StateLenError("adversary: composite stateless part", n, 0)
+		}
+	}
+	if len(state) != 0 {
+		return pram.StateLenError("adversary: composite trailing", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Adversary = (*Composite)(nil)
+var _ pram.Snapshotter = (*Composite)(nil)
 
 // Window activates an inner adversary only during the tick interval
 // [From, To) (To = 0 means forever). Outside the window it issues nothing,
@@ -81,7 +124,28 @@ func (w *Window) Decide(v *pram.View) pram.Decision {
 	return w.Inner.Decide(v)
 }
 
+// SnapshotState implements pram.Snapshotter, forwarding to the inner
+// adversary (the window bounds are configuration, not run state).
+func (w *Window) SnapshotState() []pram.Word {
+	if s, ok := w.Inner.(pram.Snapshotter); ok {
+		return s.SnapshotState()
+	}
+	return nil
+}
+
+// RestoreState implements pram.Snapshotter.
+func (w *Window) RestoreState(state []pram.Word) error {
+	if s, ok := w.Inner.(pram.Snapshotter); ok {
+		return s.RestoreState(state)
+	}
+	if len(state) != 0 {
+		return pram.StateLenError("adversary: window", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Adversary = (*Window)(nil)
+var _ pram.Snapshotter = (*Window)(nil)
 
 // Targeted fails a fixed set of processors whenever they are alive and
 // optionally revives them after RevivalDelay ticks, modeling persistent

@@ -99,4 +99,19 @@ func (h *Halving) Decide(v *pram.View) pram.Decision {
 	return dec
 }
 
+// SnapshotState implements pram.Snapshotter: the writers map and cell
+// list are per-tick scratch, rebuilt from each tick's intents, so the
+// adversary carries no cross-tick state. The explicit implementation
+// documents that to the checkpoint subsystem.
+func (h *Halving) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (h *Halving) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("adversary: halving", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Adversary = (*Halving)(nil)
+var _ pram.Snapshotter = (*Halving)(nil)

@@ -29,7 +29,14 @@ func WritePattern(w io.Writer, pattern []Event) error {
 		switch e.Kind {
 		case Fail:
 			pe.Kind = "fail"
-			pe.Point = e.Point.String()
+			// A zero Point means FailBeforeReads by the Event
+			// convention; normalize so the file round-trips through
+			// parsePoint.
+			point := e.Point
+			if point == pram.NoFailure {
+				point = pram.FailBeforeReads
+			}
+			pe.Point = point.String()
 		case Restart:
 			pe.Kind = "restart"
 		default:
@@ -42,14 +49,30 @@ func WritePattern(w io.Writer, pattern []Event) error {
 	return enc.Encode(pf)
 }
 
-// ReadPattern parses a failure pattern written by WritePattern.
+// ReadPattern parses a failure pattern written by WritePattern. It
+// validates each event — ticks and PIDs must be non-negative and events
+// must be ordered by non-decreasing tick, as any pattern recorded from
+// a live run is — and rejects malformed files with an error naming the
+// offending event's index.
 func ReadPattern(r io.Reader) ([]Event, error) {
 	var pf patternFile
 	if err := json.NewDecoder(r).Decode(&pf); err != nil {
 		return nil, fmt.Errorf("adversary: parse pattern: %w", err)
 	}
 	events := make([]Event, 0, len(pf.Events))
+	lastTick := 0
 	for i, pe := range pf.Events {
+		if pe.Tick < 0 {
+			return nil, fmt.Errorf("adversary: event %d: negative tick %d", i, pe.Tick)
+		}
+		if pe.PID < 0 {
+			return nil, fmt.Errorf("adversary: event %d: negative pid %d", i, pe.PID)
+		}
+		if pe.Tick < lastTick {
+			return nil, fmt.Errorf("adversary: event %d: tick %d precedes tick %d of the previous event (events must be in tick order)",
+				i, pe.Tick, lastTick)
+		}
+		lastTick = pe.Tick
 		e := Event{Tick: pe.Tick, PID: pe.PID}
 		switch pe.Kind {
 		case "fail":

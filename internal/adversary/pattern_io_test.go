@@ -1,0 +1,110 @@
+package adversary_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pram"
+)
+
+// TestReadPatternValidatesEvents checks the parser rejects patterns no
+// live run could have produced — negative ticks, negative PIDs,
+// out-of-order events — with an error naming the offending index.
+func TestReadPatternValidatesEvents(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want string
+	}{
+		{
+			name: "negative tick",
+			give: `{"events":[{"tick":-1,"pid":0,"kind":"restart"}]}`,
+			want: "event 0: negative tick",
+		},
+		{
+			name: "negative pid",
+			give: `{"events":[{"tick":0,"pid":0,"kind":"restart"},{"tick":1,"pid":-4,"kind":"restart"}]}`,
+			want: "event 1: negative pid",
+		},
+		{
+			name: "non-monotonic ticks",
+			give: `{"events":[{"tick":5,"pid":0,"kind":"restart"},{"tick":3,"pid":1,"kind":"restart"}]}`,
+			want: "event 1: tick 3 precedes tick 5",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := adversary.ReadPattern(strings.NewReader(tt.give))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestWritePatternNormalizesZeroFailPoint is the regression test for the
+// unreadable-pattern bug: a Fail event whose Point was left zero
+// (NoFailure — which the Event convention documents as meaning
+// FailBeforeReads) used to be serialized as "none", which ReadPattern
+// rejects, so a recorded file could refuse to load. It must round-trip
+// as FailBeforeReads.
+func TestWritePatternNormalizesZeroFailPoint(t *testing.T) {
+	pattern := []adversary.Event{{Tick: 2, PID: 1, Kind: adversary.Fail, Point: pram.NoFailure}}
+	var buf bytes.Buffer
+	if err := adversary.WritePattern(&buf, pattern); err != nil {
+		t.Fatalf("WritePattern: %v", err)
+	}
+	got, err := adversary.ReadPattern(&buf)
+	if err != nil {
+		t.Fatalf("ReadPattern of zero-point pattern: %v", err)
+	}
+	want := []adversary.Event{{Tick: 2, PID: 1, Kind: adversary.Fail, Point: pram.FailBeforeReads}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestPatternRoundTripProperty generates seeded random (but valid)
+// patterns — monotone ticks, mixed kinds, every legal fail point — and
+// checks Write/Read is the identity on them.
+func TestPatternRoundTripProperty(t *testing.T) {
+	points := []pram.FailPoint{pram.FailBeforeReads, pram.FailAfterReads, pram.FailAfterWrite1}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		pattern := make([]adversary.Event, 0, n)
+		tick := 0
+		for i := 0; i < n; i++ {
+			tick += r.Intn(3) // non-decreasing, frequently equal
+			e := adversary.Event{Tick: tick, PID: r.Intn(16)}
+			if r.Intn(2) == 0 {
+				e.Kind = adversary.Fail
+				e.Point = points[r.Intn(len(points))]
+			} else {
+				e.Kind = adversary.Restart
+			}
+			pattern = append(pattern, e)
+		}
+
+		var buf bytes.Buffer
+		if err := adversary.WritePattern(&buf, pattern); err != nil {
+			t.Fatalf("seed %d: WritePattern: %v", seed, err)
+		}
+		got, err := adversary.ReadPattern(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: ReadPattern: %v", seed, err)
+		}
+		if len(got) != len(pattern) {
+			t.Fatalf("seed %d: %d events, want %d", seed, len(got), len(pattern))
+		}
+		for i := range pattern {
+			if got[i] != pattern[i] {
+				t.Errorf("seed %d: event %d = %+v, want %+v", seed, i, got[i], pattern[i])
+			}
+		}
+	}
+}

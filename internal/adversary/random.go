@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/pram"
+	"repro/internal/rng"
 )
 
 // Random fails each alive processor independently with probability
@@ -20,7 +21,8 @@ type Random struct {
 	// FailBeforeReads.
 	Points []pram.FailPoint
 
-	rng    *rand.Rand
+	src    *rng.Counting
+	r      *rand.Rand
 	events int64
 }
 
@@ -33,11 +35,19 @@ func NewRandom(failProb, restartProb float64, seed int64) *Random {
 // Name implements pram.Adversary.
 func (r *Random) Name() string { return "random" }
 
+// ensure lazily initializes the random stream. The counting source is
+// bit-identical to the plain math/rand source for the same seed, so
+// seeded runs are unchanged by the snapshot support.
+func (r *Random) ensure() {
+	if r.r == nil {
+		r.src = rng.NewCounting(r.Seed)
+		r.r = rand.New(r.src)
+	}
+}
+
 // Decide implements pram.Adversary.
 func (r *Random) Decide(v *pram.View) pram.Decision {
-	if r.rng == nil {
-		r.rng = rand.New(rand.NewSource(r.Seed))
-	}
+	r.ensure()
 	var dec pram.Decision
 	for pid := 0; pid < v.States.Len(); pid++ {
 		if r.MaxEvents > 0 && r.events >= r.MaxEvents {
@@ -45,7 +55,7 @@ func (r *Random) Decide(v *pram.View) pram.Decision {
 		}
 		switch v.States.At(pid) {
 		case pram.Alive:
-			if r.rng.Float64() < r.FailProb {
+			if r.r.Float64() < r.FailProb {
 				if dec.Failures == nil {
 					dec.Failures = make(map[int]pram.FailPoint)
 				}
@@ -53,7 +63,7 @@ func (r *Random) Decide(v *pram.View) pram.Decision {
 				r.events++
 			}
 		case pram.Dead:
-			if r.rng.Float64() < r.RestartProb {
+			if r.r.Float64() < r.RestartProb {
 				dec.Restarts = append(dec.Restarts, pid)
 				r.events++
 			}
@@ -67,11 +77,31 @@ func (r *Random) Decide(v *pram.View) pram.Decision {
 // are authoritative; this is a convenience for tests.
 func (r *Random) Events() int64 { return r.events }
 
+// SnapshotState implements pram.Snapshotter: the issued-event count and
+// the stream position as (seed, draws).
+func (r *Random) SnapshotState() []pram.Word {
+	r.ensure()
+	seed, draws := r.src.State()
+	return []pram.Word{pram.Word(r.events), pram.Word(seed), pram.Word(draws)}
+}
+
+// RestoreState implements pram.Snapshotter.
+func (r *Random) RestoreState(state []pram.Word) error {
+	if len(state) != 3 {
+		return pram.StateLenError("adversary: random", len(state), 3)
+	}
+	r.ensure()
+	r.events = int64(state[0])
+	r.src.Restore(int64(state[1]), uint64(state[2]))
+	return nil
+}
+
 func (r *Random) point() pram.FailPoint {
 	if len(r.Points) == 0 {
 		return pram.FailBeforeReads
 	}
-	return r.Points[r.rng.Intn(len(r.Points))]
+	return r.Points[r.r.Intn(len(r.Points))]
 }
 
 var _ pram.Adversary = (*Random)(nil)
+var _ pram.Snapshotter = (*Random)(nil)

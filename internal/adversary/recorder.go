@@ -51,4 +51,51 @@ func (r *Recorder) Pattern() []Event {
 // Replay returns an off-line adversary replaying the recorded pattern.
 func (r *Recorder) Replay() *Scheduled { return NewScheduled(r.Pattern()) }
 
+// SnapshotState implements pram.Snapshotter: the recorded pattern (four
+// words per event) followed by the inner adversary's state, so a
+// resumed recording run yields the same pattern file. A stateful inner
+// adversary must itself implement pram.Snapshotter for the capture to
+// be exact; stateless inner adversaries contribute nothing.
+func (r *Recorder) SnapshotState() []pram.Word {
+	state := make([]pram.Word, 0, 1+4*len(r.pattern))
+	state = append(state, pram.Word(len(r.pattern)))
+	for _, e := range r.pattern {
+		state = append(state, pram.Word(e.Tick), pram.Word(e.PID), pram.Word(e.Kind), pram.Word(e.Point))
+	}
+	if s, ok := r.inner.(pram.Snapshotter); ok {
+		state = append(state, s.SnapshotState()...)
+	}
+	return state
+}
+
+// RestoreState implements pram.Snapshotter.
+func (r *Recorder) RestoreState(state []pram.Word) error {
+	if len(state) < 1 {
+		return pram.StateLenError("adversary: recorder", len(state), 1)
+	}
+	n := int(state[0])
+	if n < 0 || len(state) < 1+4*n {
+		return pram.StateLenError("adversary: recorder", len(state), 1+4*n)
+	}
+	r.pattern = r.pattern[:0]
+	for i := 0; i < n; i++ {
+		w := state[1+4*i:]
+		r.pattern = append(r.pattern, Event{
+			Tick:  int(w[0]),
+			PID:   int(w[1]),
+			Kind:  EventKind(w[2]),
+			Point: pram.FailPoint(w[3]),
+		})
+	}
+	rest := state[1+4*n:]
+	if s, ok := r.inner.(pram.Snapshotter); ok {
+		return s.RestoreState(rest)
+	}
+	if len(rest) != 0 {
+		return pram.StateLenError("adversary: recorder inner", len(rest), 0)
+	}
+	return nil
+}
+
 var _ pram.Adversary = (*Recorder)(nil)
+var _ pram.Snapshotter = (*Recorder)(nil)

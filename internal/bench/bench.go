@@ -129,19 +129,28 @@ func All() []Experiment {
 }
 
 // Slope fits a least-squares line to (log2 x, log2 y) and returns its
-// slope: the growth exponent of y in x.
+// slope: the growth exponent of y in x. Points with a nonpositive
+// coordinate have no logarithm and are skipped; NaN is returned only
+// when fewer than two usable points remain (or all usable points share
+// one x).
 func Slope(xs, ys []float64) float64 {
-	if len(xs) != len(ys) || len(xs) < 2 {
+	if len(xs) != len(ys) {
 		return math.NaN()
 	}
-	var sx, sy, sxx, sxy float64
-	n := float64(len(xs))
+	var sx, sy, sxx, sxy, n float64
 	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
 		lx, ly := math.Log2(xs[i]), math.Log2(ys[i])
 		sx += lx
 		sy += ly
 		sxx += lx * lx
 		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {

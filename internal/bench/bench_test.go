@@ -168,8 +168,60 @@ func TestPlotLogLogDegenerate(t *testing.T) {
 	if len(lines) != 1 || !strings.Contains(lines[0], "not enough data") {
 		t.Errorf("degenerate plot = %v", lines)
 	}
+	neg := PlotLogLog("neg", []Series{{Mark: '*', Xs: []float64{-1, 0}, Ys: []float64{1, 2}}}, 32, 8)
+	if len(neg) != 1 || !strings.Contains(neg[0], "not enough data") {
+		t.Errorf("all-nonpositive plot = %v", neg)
+	}
+	// A single point is a flat series on both axes: it must render (on
+	// padded axes), not be refused.
 	one := PlotLogLog("one", []Series{{Mark: '*', Xs: []float64{4}, Ys: []float64{4}}}, 32, 8)
-	if len(one) != 1 {
-		t.Errorf("single-point plot = %v", one)
+	if len(one) < 10 || !strings.Contains(strings.Join(one, "\n"), "*") {
+		t.Errorf("single-point plot should render on padded axes, got %v", one)
+	}
+}
+
+// TestPlotLogLogFlatSeries is the regression test for the degenerate-axis
+// bug: a constant series (every Y equal, as a flat overhead ratio
+// produces) used to be refused as "not enough data" because maxY == minY;
+// it must instead render as a flat line on a ±0.5-padded axis.
+func TestPlotLogLogFlatSeries(t *testing.T) {
+	series := []Series{{Label: "flat", Mark: '#', Xs: []float64{2, 4, 8, 16}, Ys: []float64{8, 8, 8, 8}}}
+	lines := PlotLogLog("flat", series, 32, 8)
+	joined := strings.Join(lines, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("flat series refused: %v", lines)
+	}
+	if !strings.Contains(joined, "#") {
+		t.Errorf("flat series not drawn:\n%s", joined)
+	}
+	if !strings.Contains(joined, "slope 0.00") {
+		t.Errorf("flat series slope not 0:\n%s", joined)
+	}
+	// Flat in X as well.
+	vert := PlotLogLog("vert", []Series{{Label: "v", Mark: '@', Xs: []float64{4, 4, 4}, Ys: []float64{2, 4, 8}}}, 32, 8)
+	if len(vert) < 10 || !strings.Contains(strings.Join(vert, "\n"), "@") {
+		t.Errorf("vertical series refused: %v", vert)
+	}
+}
+
+// TestSlopeSkipsNonpositivePoints is the regression test for the
+// log-of-nonpositive bug: a zero or negative sample (a failed
+// measurement, a zero-failure count) used to poison the whole fit with
+// NaN/-Inf; such points must be skipped, with NaN only when fewer than
+// two usable points remain.
+func TestSlopeSkipsNonpositivePoints(t *testing.T) {
+	got := Slope([]float64{0, 16, 32, 64, 128}, []float64{5, 16, 32, 64, 128})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Slope with zero x = %v, want 1", got)
+	}
+	got = Slope([]float64{16, 32, 64}, []float64{16, -3, 64})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Slope with negative y = %v, want 1", got)
+	}
+	if got := Slope([]float64{0, -1, 64}, []float64{1, 2, 64}); !math.IsNaN(got) {
+		t.Errorf("Slope with one usable point = %v, want NaN", got)
+	}
+	if got := Slope([]float64{0, 0}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Errorf("Slope with no usable points = %v, want NaN", got)
 	}
 }

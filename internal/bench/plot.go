@@ -29,8 +29,16 @@ func PlotLogLog(title string, series []Series, width, height int) []string {
 			minY, maxY = math.Min(minY, ly), math.Max(maxY, ly)
 		}
 	}
-	if math.IsInf(minX, 1) || maxX == minX || maxY == minY {
+	if math.IsInf(minX, 1) {
 		return []string{title + ": not enough data to plot"}
+	}
+	// A degenerate axis (all points share one x or one y, e.g. a constant
+	// overhead ratio) still plots fine once padded to a nonzero span.
+	if maxX == minX {
+		minX, maxX = minX-0.5, maxX+0.5
+	}
+	if maxY == minY {
+		minY, maxY = minY-0.5, maxY+0.5
 	}
 
 	grid := make([][]rune, height)

@@ -166,6 +166,32 @@ func (e *execVProc) blocksDone(v int, w pram.Word, phi pram.Word) int {
 	return e.stamped(w, phi) + e.paddedUnder(v)
 }
 
+// SnapshotState implements pram.Snapshotter: the V side's private
+// iteration state, which unlike the X engine's survives across ticks
+// within an iteration.
+func (e *execVProc) SnapshotState() []pram.Word {
+	joined := pram.Word(0)
+	if e.joined {
+		joined = 1
+	}
+	return []pram.Word{e.phase, joined, pram.Word(e.pos), pram.Word(e.target), pram.Word(e.block)}
+}
+
+// RestoreState implements pram.Snapshotter.
+func (e *execVProc) RestoreState(state []pram.Word) error {
+	if len(state) != 5 {
+		return pram.StateLenError("core: executor V processor", len(state), 5)
+	}
+	e.phase = state[0]
+	e.joined = state[1] != 0
+	e.pos = int(state[2])
+	e.target = int(state[3])
+	e.block = int(state[4])
+	return nil
+}
+
+var _ pram.Snapshotter = (*execVProc)(nil)
+
 // paddedUnder returns how many padding blocks (indices >= RealBlocks) lie
 // under node v.
 func (e *execVProc) paddedUnder(v int) int {

@@ -231,7 +231,17 @@ func (c *execCombinedProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return c.x.Cycle(ctx)
 }
 
+// SnapshotState implements pram.Snapshotter: only the V side carries
+// private state (the X side keeps everything in shared memory).
+func (c *execCombinedProc) SnapshotState() []pram.Word { return c.v.SnapshotState() }
+
+// RestoreState implements pram.Snapshotter.
+func (c *execCombinedProc) RestoreState(state []pram.Word) error {
+	return c.v.RestoreState(state)
+}
+
 var _ pram.Processor = (*execCombinedProc)(nil)
+var _ pram.Snapshotter = (*execCombinedProc)(nil)
 
 // Done implements pram.Algorithm: the computation is complete once the
 // phase counter passes the last COMMIT phase.
@@ -369,4 +379,18 @@ func (e *execProc) leafWork(ctx *pram.Ctx, phi pram.Word, step int, commit bool,
 	ctx.Write(l.tree.D(node), phi)
 }
 
+// SnapshotState implements pram.Snapshotter: execProc is stateless by
+// construction (position and progress live in phase-stamped shared
+// memory), so there is nothing to capture.
+func (e *execProc) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (e *execProc) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("core: executor X processor", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Processor = (*execProc)(nil)
+var _ pram.Snapshotter = (*execProc)(nil)

@@ -88,6 +88,18 @@ func (k *autoKernel) advance() {
 	}
 }
 
+// resetProbe discards all measurements and commitments, returning the
+// kernel to its initial serial-probe mode. Machine.Reset calls it when
+// recycling a machine: probe timings and the committed engine choice
+// belong to the previous run's workload shape (its P, its live-set
+// trajectory), and carrying them into a run with a different shape
+// would start it on a stale engine for up to a full commit window.
+func (k *autoKernel) resetProbe() {
+	k.mode, k.left = autoProbeSerial, autoProbeTicks
+	k.useParallel = false
+	k.serialNS, k.parNS = 0, 0
+}
+
 func (k *autoKernel) close() {
 	k.par.close()
 }

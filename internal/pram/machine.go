@@ -215,6 +215,12 @@ func (m *Machine) Reset(cfg Config, alg Algorithm, adv Adversary) error {
 	if err := m.setKernel(cfg.Kernel, normalWorkers(cfg.Workers, cfg.P)); err != nil {
 		return err
 	}
+	if ak, ok := m.kern.(*autoKernel); ok {
+		// A kept AutoKernel still carries the previous run's probe
+		// timings and engine commitment, which describe that run's
+		// workload, not this one's.
+		ak.resetProbe()
+	}
 	sameAlg := algSameInstance(m.alg, alg)
 	m.cfg, m.alg, m.adv, m.sink = cfg, alg, adv, cfg.Sink
 

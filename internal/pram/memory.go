@@ -49,6 +49,18 @@ func (m *Memory) CopyInto(dst []Word) []Word {
 	return dst
 }
 
+// Restore replaces the entire memory contents with src, resizing to
+// len(src) and reusing the existing allocation when its capacity
+// suffices. Machine.RestoreSnapshot uses it to reinstate a checkpointed
+// memory image.
+func (m *Memory) Restore(src []Word) {
+	if cap(m.cells) < len(src) {
+		m.cells = make([]Word, len(src))
+	}
+	m.cells = m.cells[:len(src)]
+	copy(m.cells, src)
+}
+
 // Slice returns a read-only view of a region [start, start+n). The caller
 // must not modify the returned slice; it aliases machine state.
 func (m *Memory) Slice(start, n int) []Word {

@@ -1,5 +1,7 @@
 package pram
 
+import "fmt"
+
 // Runner executes many runs on one pooled Machine, so sweep drivers (the
 // experiment tables, bench.Points, benchmarks) stop reconstructing the
 // world per run: shared memory, contexts, scratch buffers, the kernel
@@ -11,16 +13,69 @@ package pram
 // a sync.Pool).
 type Runner struct {
 	m *Machine
+
+	// CheckpointEvery, when positive together with a non-empty
+	// CheckpointPath, makes Run and Resume checkpoint the machine to
+	// CheckpointPath (crash-consistently, via SaveSnapshot's
+	// write-tmp-rename) every CheckpointEvery ticks, so a killed run can
+	// be resumed from the last checkpoint with Resume.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file location; see CheckpointEvery.
+	CheckpointPath string
 }
 
 // Run executes one complete run of alg against adv under cfg on the
-// pooled machine, returning its final metrics.
+// pooled machine, returning its final metrics. With checkpointing
+// configured (CheckpointEvery > 0 and CheckpointPath set) the run is
+// periodically snapshotted to CheckpointPath.
 func (r *Runner) Run(cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
 	m, err := r.Machine(cfg, alg, adv)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return m.Run()
+	return r.run(m)
+}
+
+// Resume restores snap into a machine configured for cfg/alg/adv and
+// runs it to completion. The resumed run is bit-identical to the
+// remainder of the run the snapshot was taken from; checkpointing, if
+// configured, continues from the restored tick.
+func (r *Runner) Resume(cfg Config, alg Algorithm, adv Adversary, snap *Snapshot) (Metrics, error) {
+	m, err := r.Machine(cfg, alg, adv)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if err := m.RestoreSnapshot(snap); err != nil {
+		return Metrics{}, err
+	}
+	return r.run(m)
+}
+
+// run drives m to completion, checkpointing when configured.
+func (r *Runner) run(m *Machine) (Metrics, error) {
+	if r.CheckpointEvery <= 0 || r.CheckpointPath == "" {
+		return m.Run()
+	}
+	next := m.Tick() + r.CheckpointEvery
+	for {
+		done, err := m.Step()
+		if err != nil {
+			return m.Metrics(), err
+		}
+		if done {
+			return m.Metrics(), nil
+		}
+		if m.Tick() >= next {
+			snap, err := m.Snapshot()
+			if err != nil {
+				return m.Metrics(), fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
+			}
+			if err := SaveSnapshot(r.CheckpointPath, snap); err != nil {
+				return m.Metrics(), fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
+			}
+			next = m.Tick() + r.CheckpointEvery
+		}
+	}
 }
 
 // Machine readies the pooled machine for a run of alg against adv under

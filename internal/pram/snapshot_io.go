@@ -1,0 +1,317 @@
+package pram
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Snapshot stream format (all integers little-endian):
+//
+//	magic   [8]byte  "PRAMSNAP"
+//	version uint32   SnapshotVersion
+//	length  uint64   payload byte count
+//	payload [length]byte
+//	crc     uint32   CRC-32C (Castagnoli) of the payload
+//
+// The payload encodes the Snapshot fields in declaration order; strings
+// and slices are length-prefixed. The checksum makes a torn or corrupted
+// checkpoint file detectable instead of silently resuming garbage.
+
+// SnapshotVersion is the current snapshot serialization format version.
+const SnapshotVersion = 1
+
+// ErrSnapshotFormat reports a corrupt, truncated, or unsupported
+// snapshot stream.
+var ErrSnapshotFormat = errors.New("pram: invalid snapshot data")
+
+var (
+	snapshotMagic = [8]byte{'P', 'R', 'A', 'M', 'S', 'N', 'A', 'P'}
+	snapshotCRC   = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// WriteSnapshot serializes s to w in the versioned binary format.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	var payload bytes.Buffer
+	e := snapEncoder{w: &payload}
+	e.i64(int64(s.N))
+	e.i64(int64(s.P))
+	e.i64(int64(s.Policy))
+	e.str(s.Algorithm)
+	e.str(s.Adversary)
+	e.i64(int64(s.Tick))
+	e.metrics(s.Metrics)
+	e.words(s.Mem)
+	e.u64(uint64(len(s.States)))
+	for _, st := range s.States {
+		e.i64(int64(st))
+	}
+	e.words(s.Stables)
+	e.u64(uint64(len(s.Procs)))
+	for _, ps := range s.Procs {
+		e.words(ps)
+	}
+	e.words(s.AlgState)
+	e.words(s.AdvState)
+	if e.err != nil {
+		return e.err
+	}
+
+	var header [20]byte
+	copy(header[:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(header[8:12], SnapshotVersion)
+	binary.LittleEndian.PutUint64(header[12:20], uint64(payload.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload.Bytes(), snapshotCRC))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot, verifying the
+// magic, version, and checksum.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var header [20]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrSnapshotFormat, err)
+	}
+	if !bytes.Equal(header[:8], snapshotMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, header[:8])
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != SnapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrSnapshotFormat, v, SnapshotVersion)
+	}
+	length := binary.LittleEndian.Uint64(header[12:20])
+	if length > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrSnapshotFormat, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotFormat, err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrSnapshotFormat, err)
+	}
+	if got, want := crc32.Checksum(payload, snapshotCRC), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrSnapshotFormat, got, want)
+	}
+
+	d := snapDecoder{buf: payload}
+	s := &Snapshot{}
+	s.N = int(d.i64())
+	s.P = int(d.i64())
+	s.Policy = WritePolicy(d.i64())
+	s.Algorithm = d.str()
+	s.Adversary = d.str()
+	s.Tick = int(d.i64())
+	s.Metrics = d.metrics()
+	s.Mem = d.words()
+	nStates := d.count()
+	if d.err == nil {
+		s.States = make([]ProcState, nStates)
+		for i := range s.States {
+			s.States[i] = ProcState(d.i64())
+		}
+	}
+	s.Stables = d.words()
+	nProcs := d.count()
+	if d.err == nil {
+		s.Procs = make([][]Word, nProcs)
+		for i := range s.Procs {
+			s.Procs[i] = d.words()
+		}
+	}
+	s.AlgState = d.words()
+	s.AdvState = d.words()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrSnapshotFormat, len(d.buf))
+	}
+	return s, nil
+}
+
+// SaveSnapshot writes s to path crash-consistently: the snapshot is
+// written to a temporary file in the same directory, synced, and then
+// renamed over path, so a crash mid-checkpoint leaves the previous
+// checkpoint intact rather than a torn file.
+func SaveSnapshot(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := WriteSnapshot(bw, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSnapshot reads a snapshot saved by SaveSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(bufio.NewReader(f))
+}
+
+// snapEncoder accumulates little-endian primitives, capturing the first
+// write error.
+type snapEncoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *snapEncoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, e.err = e.w.Write(b[:])
+}
+
+func (e *snapEncoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *snapEncoder) str(s string) {
+	e.u64(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}
+
+func (e *snapEncoder) words(ws []Word) {
+	e.u64(uint64(len(ws)))
+	for _, w := range ws {
+		e.i64(int64(w))
+	}
+}
+
+func (e *snapEncoder) metrics(m Metrics) {
+	e.i64(int64(m.N))
+	e.i64(int64(m.P))
+	e.i64(int64(m.Ticks))
+	e.i64(m.Completed)
+	e.i64(m.Incomplete)
+	e.i64(m.Failures)
+	e.i64(m.Restarts)
+	e.i64(m.Vetoes)
+	e.i64(int64(m.MaxReads))
+	e.i64(int64(m.MaxWrites))
+	e.i64(m.Snapshots)
+}
+
+// snapDecoder consumes the payload buffer, capturing the first error;
+// later reads become no-ops returning zero values.
+type snapDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *snapDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("%w: truncated payload", ErrSnapshotFormat)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[:8])
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *snapDecoder) i64() int64 { return int64(d.u64()) }
+
+// count reads a slice length, bounding it by the bytes that remain so a
+// corrupt length cannot trigger a huge allocation.
+func (d *snapDecoder) count() int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("%w: length %d exceeds remaining payload", ErrSnapshotFormat, n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *snapDecoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *snapDecoder) words() []Word {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n*8 > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("%w: %d words exceed remaining payload", ErrSnapshotFormat, n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ws := make([]Word, n)
+	for i := range ws {
+		ws[i] = Word(binary.LittleEndian.Uint64(d.buf[i*8 : i*8+8]))
+	}
+	d.buf = d.buf[n*8:]
+	return ws
+}
+
+func (d *snapDecoder) metrics() Metrics {
+	return Metrics{
+		N:          int(d.i64()),
+		P:          int(d.i64()),
+		Ticks:      int(d.i64()),
+		Completed:  d.i64(),
+		Incomplete: d.i64(),
+		Failures:   d.i64(),
+		Restarts:   d.i64(),
+		Vetoes:     d.i64(),
+		MaxReads:   int(d.i64()),
+		MaxWrites:  int(d.i64()),
+		Snapshots:  d.i64(),
+	}
+}

@@ -1,0 +1,64 @@
+// Package rng provides a snapshottable deterministic random source for
+// the simulator's randomized components (the random adversary, ACC's
+// per-incarnation streams).
+//
+// A Counting source wraps the standard math/rand source and counts how
+// many values it has produced. Its state is therefore just the pair
+// (seed, draws): a restored source replays the original seed and
+// discards the recorded number of draws, after which it produces exactly
+// the sequence the live source would have — bit-identical resumption
+// without serializing the generator's internal vector. Wrapping (rather
+// than reimplementing) the standard source keeps every existing seeded
+// run's output unchanged.
+package rng
+
+import "math/rand"
+
+// Counting is a math/rand Source64 that records how many values it has
+// drawn, making its state serializable as (seed, draws).
+type Counting struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// NewCounting returns a counting source seeded like rand.NewSource(seed).
+func NewCounting(seed int64) *Counting {
+	return &Counting{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (c *Counting) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *Counting) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (c *Counting) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	c.draws = 0
+}
+
+// State returns the source's serializable state.
+func (c *Counting) State() (seed int64, draws uint64) { return c.seed, c.draws }
+
+// Restore rewinds the source to the given state: it reseeds and then
+// discards draws values, so the next draw is the (draws+1)-th of the
+// seed's sequence. The standard source advances exactly one internal
+// step per Int63 or Uint64 call, which is what makes the replay exact.
+func (c *Counting) Restore(seed int64, draws uint64) {
+	c.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}
+
+var _ rand.Source64 = (*Counting)(nil)

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/pram"
+	"repro/internal/rng"
 )
 
 // ACC is a randomized coupon-clipping Write-All algorithm standing in for
@@ -56,29 +57,54 @@ func (a *ACC) Setup(mem *pram.Memory, n, p int) {
 
 // NewProcessor implements pram.Algorithm. Each (re)incarnation draws a
 // distinct deterministic random stream and starts at the root after a
-// random delay of up to the tree depth.
+// random delay of up to the tree depth. The stream runs over a counting
+// source (bit-identical to the plain math/rand source it replaces) so a
+// snapshot can capture it as (seed, draws).
 func (a *ACC) NewProcessor(pid, n, p int) pram.Processor {
 	a.spawned++
 	streamSeed := a.seed ^ int64(pid)<<20 ^ a.spawned*0x5851F42D4C957F2D
 	lay := a.Layout(n, p)
-	rng := rand.New(rand.NewSource(streamSeed))
+	src := rng.NewCounting(streamSeed)
+	r := rand.New(src)
 	delay := 0
 	if lay.Levels > 0 {
-		delay = rng.Intn(lay.Levels + 1)
+		delay = r.Intn(lay.Levels + 1)
 	}
-	return &accProc{pid: pid, lay: lay, rng: rng, delay: delay, pos: 1}
+	return &accProc{pid: pid, lay: lay, src: src, rng: r, delay: delay, pos: 1}
 }
 
 // Done implements pram.Algorithm.
 func (a *ACC) Done(mem pram.MemoryView, n, p int) bool { return a.done(mem, n) }
 
+// SnapshotState implements pram.Snapshotter, shadowing the embedded
+// arrayDone's: ACC additionally carries the incarnation counter its
+// per-restart stream seeds derive from.
+func (a *ACC) SnapshotState() []pram.Word {
+	return []pram.Word{pram.Word(a.cursor), pram.Word(a.spawned)}
+}
+
+// RestoreState implements pram.Snapshotter. It runs after the machine
+// has (re)built the live processors, undoing the spawned increments
+// their construction performed, so post-restore restarts continue the
+// snapshotted run's seed sequence exactly.
+func (a *ACC) RestoreState(state []pram.Word) error {
+	if len(state) != 2 {
+		return pram.StateLenError("writeall: ACC", len(state), 2)
+	}
+	a.cursor = int(state[0])
+	a.spawned = int64(state[1])
+	return nil
+}
+
 var _ pram.Algorithm = (*ACC)(nil)
+var _ pram.Snapshotter = (*ACC)(nil)
 
 // accProc is a coupon-clipping processor: private position, random
 // descent. All of its state is lost on failure.
 type accProc struct {
 	pid   int
 	lay   TreeLayout
+	src   *rng.Counting
 	rng   *rand.Rand
 	delay int
 	pos   int // current heap node; 0 after leaving the root
@@ -123,4 +149,25 @@ func (a *accProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the walk state plus the
+// random stream as (seed, draws).
+func (a *accProc) SnapshotState() []pram.Word {
+	seed, draws := a.src.State()
+	return []pram.Word{pram.Word(a.delay), pram.Word(a.pos), pram.Word(seed), pram.Word(draws)}
+}
+
+// RestoreState implements pram.Snapshotter: it rewinds the stream to
+// the captured (seed, draws) point, discarding whatever the fresh
+// incarnation's constructor drew.
+func (a *accProc) RestoreState(state []pram.Word) error {
+	if len(state) != 4 {
+		return pram.StateLenError("writeall: ACC processor", len(state), 4)
+	}
+	a.delay = int(state[0])
+	a.pos = int(state[1])
+	a.src.Restore(int64(state[2]), uint64(state[3]))
+	return nil
+}
+
 var _ pram.Processor = (*accProc)(nil)
+var _ pram.Snapshotter = (*accProc)(nil)

@@ -64,4 +64,18 @@ func (a *PostOrder) Decide(v *pram.View) pram.Decision {
 	return dec
 }
 
+// SnapshotState implements pram.Snapshotter: the traversal watermark is
+// the adversary's only cross-tick state.
+func (a *PostOrder) SnapshotState() []pram.Word { return []pram.Word{pram.Word(a.lastLeaf)} }
+
+// RestoreState implements pram.Snapshotter.
+func (a *PostOrder) RestoreState(state []pram.Word) error {
+	if len(state) != 1 {
+		return pram.StateLenError("writeall: postorder adversary", len(state), 1)
+	}
+	a.lastLeaf = int(state[0])
+	return nil
+}
+
 var _ pram.Adversary = (*PostOrder)(nil)
+var _ pram.Snapshotter = (*PostOrder)(nil)

@@ -82,4 +82,19 @@ func (s *Stalking) touchesTarget(in *pram.Intent) bool {
 	return false
 }
 
+// SnapshotState implements pram.Snapshotter: the stalked target is
+// fixed at construction, so the adversary carries no run state. The
+// explicit (empty) implementation documents that statelessness to the
+// checkpoint subsystem.
+func (s *Stalking) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (s *Stalking) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("writeall: stalking adversary", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Adversary = (*Stalking)(nil)
+var _ pram.Snapshotter = (*Stalking)(nil)

@@ -83,4 +83,12 @@ func (c *combinedProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return c.x.Cycle(ctx)
 }
 
+// SnapshotState implements pram.Snapshotter: only the V component has
+// private state (the X component's position is in shared memory).
+func (c *combinedProc) SnapshotState() []pram.Word { return c.v.SnapshotState() }
+
+// RestoreState implements pram.Snapshotter.
+func (c *combinedProc) RestoreState(state []pram.Word) error { return c.v.RestoreState(state) }
+
 var _ pram.Processor = (*combinedProc)(nil)
+var _ pram.Snapshotter = (*combinedProc)(nil)

@@ -78,4 +78,17 @@ func (o *obliviousProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the snapshot scratch is
+// overwritten in full each cycle, so the processor is stateless.
+func (o *obliviousProc) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (o *obliviousProc) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("writeall: oblivious processor", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Processor = (*obliviousProc)(nil)
+var _ pram.Snapshotter = (*obliviousProc)(nil)

@@ -58,4 +58,17 @@ func (r *replicatedProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the private sweep position.
+func (r *replicatedProc) SnapshotState() []pram.Word { return []pram.Word{pram.Word(r.k)} }
+
+// RestoreState implements pram.Snapshotter.
+func (r *replicatedProc) RestoreState(state []pram.Word) error {
+	if len(state) != 1 {
+		return pram.StateLenError("writeall: replicated processor", len(state), 1)
+	}
+	r.k = int(state[0])
+	return nil
+}
+
 var _ pram.Processor = (*replicatedProc)(nil)
+var _ pram.Snapshotter = (*replicatedProc)(nil)

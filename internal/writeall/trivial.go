@@ -52,7 +52,20 @@ func (t *trivialProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the private stride index.
+func (t *trivialProc) SnapshotState() []pram.Word { return []pram.Word{pram.Word(t.k)} }
+
+// RestoreState implements pram.Snapshotter.
+func (t *trivialProc) RestoreState(state []pram.Word) error {
+	if len(state) != 1 {
+		return pram.StateLenError("writeall: trivial processor", len(state), 1)
+	}
+	t.k = int(state[0])
+	return nil
+}
+
 var _ pram.Algorithm = (*Trivial)(nil)
+var _ pram.Snapshotter = (*trivialProc)(nil)
 
 // Sequential is a single-processor Write-All baseline whose position is
 // checkpointed in the stable action counter, so it resumes where it
@@ -104,4 +117,17 @@ func (s *sequentialProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the sweep position lives
+// entirely in the stable action counter, which the machine captures.
+func (s *sequentialProc) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (s *sequentialProc) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("writeall: sequential processor", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Algorithm = (*Sequential)(nil)
+var _ pram.Snapshotter = (*sequentialProc)(nil)

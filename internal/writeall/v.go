@@ -160,4 +160,24 @@ func (v *vProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: the mutable traversal
+// state. pid, layout, and the clock mapping are per-incarnation
+// configuration reapplied by NewProcessor/Reset before RestoreState.
+func (v *vProc) SnapshotState() []pram.Word {
+	return []pram.Word{b2w(v.joined), pram.Word(v.pos), pram.Word(v.target), pram.Word(v.block)}
+}
+
+// RestoreState implements pram.Snapshotter.
+func (v *vProc) RestoreState(state []pram.Word) error {
+	if len(state) != 4 {
+		return pram.StateLenError("writeall: V processor", len(state), 4)
+	}
+	v.joined = state[0] != 0
+	v.pos = int(state[1])
+	v.target = int(state[2])
+	v.block = int(state[3])
+	return nil
+}
+
 var _ pram.Processor = (*vProc)(nil)
+var _ pram.Snapshotter = (*vProc)(nil)

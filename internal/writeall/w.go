@@ -242,4 +242,28 @@ func (w *wProc) stampedCount(ctx *pram.Ctx, v int, iter pram.Word) int {
 	return int(c)
 }
 
+// SnapshotState implements pram.Snapshotter: the mutable traversal and
+// enumeration state. pid and layout are reapplied by Reset/NewProcessor.
+func (w *wProc) SnapshotState() []pram.Word {
+	return []pram.Word{
+		b2w(w.joined), pram.Word(w.pos), pram.Word(w.rank),
+		pram.Word(w.total), pram.Word(w.target), pram.Word(w.block),
+	}
+}
+
+// RestoreState implements pram.Snapshotter.
+func (w *wProc) RestoreState(state []pram.Word) error {
+	if len(state) != 6 {
+		return pram.StateLenError("writeall: W processor", len(state), 6)
+	}
+	w.joined = state[0] != 0
+	w.pos = int(state[1])
+	w.rank = int(state[2])
+	w.total = int(state[3])
+	w.target = int(state[4])
+	w.block = int(state[5])
+	return nil
+}
+
 var _ pram.Processor = (*wProc)(nil)
+var _ pram.Snapshotter = (*wProc)(nil)

@@ -64,6 +64,28 @@ func (a *arrayDone) done(mem pram.MemoryView, n int) bool {
 // counter instead of polling done every tick.
 func (a *arrayDone) DoneCells(n, p int) int { return n }
 
+// SnapshotState implements pram.Snapshotter for every embedding
+// algorithm: the cursor is the only run state an arrayDone algorithm
+// carries. Algorithms with more state (ACC) shadow both methods.
+func (a *arrayDone) SnapshotState() []pram.Word { return []pram.Word{pram.Word(a.cursor)} }
+
+// RestoreState implements pram.Snapshotter.
+func (a *arrayDone) RestoreState(state []pram.Word) error {
+	if len(state) != 1 {
+		return pram.StateLenError("writeall: done cursor", len(state), 1)
+	}
+	a.cursor = int(state[0])
+	return nil
+}
+
+// b2w encodes a bool state flag as a snapshot word.
+func b2w(b bool) pram.Word {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Verify reports whether the Write-All postcondition holds: every cell of
 // x[0..n) is non-zero.
 func Verify(mem *pram.Memory, n int) bool {

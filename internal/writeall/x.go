@@ -204,4 +204,19 @@ func (x *xProc) leavesUnder(v int) int {
 	return x.lay.TreeN >> uint(x.lay.Depth(v))
 }
 
+// SnapshotState implements pram.Snapshotter. An X processor has no
+// mutable private state: its position lives in shared memory (w[PID])
+// and its action phase in the stable counter, both captured by the
+// machine itself.
+func (x *xProc) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (x *xProc) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("writeall: X processor", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Processor = (*xProc)(nil)
+var _ pram.Snapshotter = (*xProc)(nil)

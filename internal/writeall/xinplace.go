@@ -136,4 +136,17 @@ func (x *xInPlaceProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// SnapshotState implements pram.Snapshotter: like xProc, all mutable
+// state is in shared memory and the stable counter.
+func (x *xInPlaceProc) SnapshotState() []pram.Word { return nil }
+
+// RestoreState implements pram.Snapshotter.
+func (x *xInPlaceProc) RestoreState(state []pram.Word) error {
+	if len(state) != 0 {
+		return pram.StateLenError("writeall: X-inplace processor", len(state), 0)
+	}
+	return nil
+}
+
 var _ pram.Processor = (*xInPlaceProc)(nil)
+var _ pram.Snapshotter = (*xInPlaceProc)(nil)
