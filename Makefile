@@ -6,13 +6,15 @@ BENCH_OUT ?= BENCH_baseline.json
 # Benchtime for the quick bench-compare pass inside `make check`.
 BENCHTIME ?= 100x
 
-.PHONY: all check build vet test test-short race race-equiv bench bench-json bench-compare bench-check fuzz experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race race-equiv bench bench-json bench-compare bench-check fuzz fuzz-short chaos experiments experiments-full cover clean
 
 all: check
 
 # check fails fast on the determinism contracts (race-equiv) before the
-# full -race sweep, then ends with a warn-only benchmark comparison.
-check: build vet test race-equiv race bench-check
+# full -race sweep, then runs the robustness gates (short fuzz pass over
+# the decoders, randomized chaos resume grid) and ends with a warn-only
+# benchmark comparison.
+check: build vet test race-equiv race fuzz-short chaos bench-check
 
 build:
 	$(GO) build ./...
@@ -60,6 +62,22 @@ bench-check:
 
 fuzz:
 	$(GO) test -fuzz FuzzWriteAllUnderRandomPatterns -fuzztime 30s ./internal/writeall/
+	$(GO) test -fuzz FuzzReadSnapshot -fuzztime 30s ./internal/pram/
+	$(GO) test -fuzz FuzzReadPattern -fuzztime 30s ./internal/adversary/
+
+# fuzz-short gives the harness-input decoders (snapshot binary format,
+# failure-pattern JSON) a brief randomized shake beyond their committed
+# corpora; cheap enough to live inside `make check`.
+fuzz-short:
+	$(GO) test -fuzz FuzzReadSnapshot -fuzztime 5s ./internal/pram/
+	$(GO) test -fuzz FuzzReadPattern -fuzztime 5s ./internal/adversary/
+
+# chaos runs the randomized crash/resume grid: checkpointed runs under
+# injected snapshot-I/O faults (torn writes, bit corruption, failing
+# fsync/rename) must still reproduce the fault-free metrics exactly.
+# The seed is printed; replay a failure with PRAM_CHAOS_SEED=<seed>.
+chaos:
+	PRAM_CHAOS=1 $(GO) test -run TestChaosResumeEquivalence -count=1 -v .
 
 experiments:
 	$(GO) run ./cmd/experiments

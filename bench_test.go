@@ -1,6 +1,7 @@
 package failstop
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -264,7 +265,7 @@ func BenchmarkExperimentTables(b *testing.B) {
 		exp := e
 		b.Run(exp.ID, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_ = exp.Run(bench.Quick)
+				_ = exp.Run(context.Background(), bench.Quick)
 			}
 		})
 	}

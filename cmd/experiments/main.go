@@ -15,27 +15,41 @@
 // replays the journaled tables verbatim and re-runs only the experiments
 // the journal is missing, producing the same output as an uninterrupted
 // sweep.
+//
+// An interrupt (SIGINT/SIGTERM) stops the sweep at the next tick
+// boundary: in-flight points drain as canceled, the journal keeps every
+// experiment that finished before the signal (each entry is synced as it
+// is written), and the process exits nonzero. -deadline bounds each sweep
+// point's wall-clock time, so a hung point degrades to an error row
+// instead of wedging the sweep. Fault injection in the harness's own I/O
+// is controlled by the PRAM_FAULTS / PRAM_FAULT_SEED environment
+// variables (see internal/faultinject).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		only     = fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
@@ -44,6 +58,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "sweep points evaluated concurrently (0 = GOMAXPROCS); output is identical at any setting")
 		ckptDir  = fs.String("checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
 		resume   = fs.Bool("resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
+		deadline = fs.Duration("deadline", 0, "wall-clock budget per sweep point; overrunning points degrade to error rows (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +67,7 @@ func run(args []string) error {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	bench.SetParallelism(*parallel)
+	bench.SetPointDeadline(*deadline)
 
 	scale := bench.Quick
 	if *full {
@@ -95,10 +111,15 @@ func run(args []string) error {
 		}
 	}
 
-	ran := 0
+	ran, degraded := 0, 0
 	for _, e := range bench.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			// Interrupted: everything journaled so far is already synced;
+			// exit nonzero so the wrapper knows the sweep is partial.
+			return fmt.Errorf("sweep interrupted before %s: %w (journaled experiments are kept; rerun with -resume)", e.ID, err)
 		}
 		key := fmt.Sprintf("%s/scale=%d", e.ID, scale)
 		if journal != nil {
@@ -115,10 +136,18 @@ func run(args []string) error {
 			}
 		}
 		start := time.Now()
-		tables := e.Run(scale)
-		if journal != nil {
+		tables := e.Run(ctx, scale)
+		interrupted := ctx.Err() != nil
+		for i := range tables {
+			degraded += len(tables[i].Errors)
+		}
+		if journal != nil && !interrupted {
+			// A journal entry asserts "this experiment finished"; an
+			// interrupted run's tables are partial, so they must re-run
+			// on -resume rather than replay. A failed Put degrades the
+			// journal (this experiment re-runs on resume), not the sweep.
 			if err := journal.Put(key, tables); err != nil {
-				return err
+				fmt.Fprintf(os.Stderr, "warning: %v (%s will re-run on -resume)\n", err, e.ID)
 			}
 		}
 		render(tables)
@@ -126,9 +155,15 @@ func run(args []string) error {
 			fmt.Printf("  [%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 		ran++
+		if interrupted {
+			return fmt.Errorf("sweep interrupted during %s: %w (partial tables above; rerun with -resume)", e.ID, ctx.Err())
+		}
 	}
 	if ran == 0 {
 		return fmt.Errorf("no experiments matched -run=%q; known IDs are E1..E17", *only)
+	}
+	if degraded > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d sweep point(s) degraded to errors (reported inline above)\n", degraded)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -13,13 +14,13 @@ func TestRunSelectsExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweeps are slow")
 	}
-	if err := run([]string{"-run", "E4,E5"}); err != nil {
+	if err := run(context.Background(), []string{"-run", "E4,E5"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
-	err := run([]string{"-run", "E99"})
+	err := run(context.Background(), []string{"-run", "E99"})
 	if err == nil || !strings.Contains(err.Error(), "no experiments matched") {
 		t.Errorf("err = %v, want no-match error", err)
 	}
@@ -29,7 +30,7 @@ func TestRunAcceptsLowercaseIDs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweeps are slow")
 	}
-	if err := run([]string{"-run", "e13"}); err != nil {
+	if err := run(context.Background(), []string{"-run", "e13"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -49,7 +50,7 @@ func captureRun(t *testing.T, args ...string) string {
 		io.Copy(&buf, r)
 		close(done)
 	}()
-	runErr := run(args)
+	runErr := run(context.Background(), args)
 	os.Stdout = old
 	w.Close()
 	<-done
@@ -100,7 +101,7 @@ func TestRunResumesInterruptedSweep(t *testing.T) {
 }
 
 func TestRunResumeRequiresCheckpointDir(t *testing.T) {
-	err := run([]string{"-resume", "-run", "E4"})
+	err := run(context.Background(), []string{"-resume", "-run", "E4"})
 	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
 		t.Errorf("err = %v, want -checkpoint-dir requirement", err)
 	}

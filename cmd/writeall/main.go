@@ -15,9 +15,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	failstop "repro"
 	"repro/internal/adversary"
@@ -25,13 +28,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("writeall", flag.ContinueOnError)
 	var (
 		algName  = fs.String("alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
@@ -63,9 +68,14 @@ func run(args []string) error {
 	var snap *pram.Snapshot
 	if *restore != "" {
 		var err error
-		snap, err = pram.LoadSnapshot(*restore)
+		var loaded string
+		snap, loaded, err = pram.LoadSnapshotFallback(*restore)
 		if err != nil {
 			return err
+		}
+		if loaded != *restore {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint %s unusable; resuming from previous checkpoint %s (tick %d)\n",
+				*restore, loaded, snap.Tick)
 		}
 		// The snapshot fixes the machine shape; flags only select the
 		// (matching) algorithm and adversary constructions.
@@ -189,11 +199,19 @@ func run(args []string) error {
 	var m failstop.Metrics
 	var err error
 	if snap != nil {
-		m, err = runner.Resume(cfg, alg, adv, snap)
+		m, err = runner.ResumeCtx(ctx, cfg, alg, adv, snap)
 	} else {
-		m, err = runner.Run(cfg, alg, adv)
+		m, err = runner.RunCtx(ctx, cfg, alg, adv)
+	}
+	// Adversary contract violations are diagnostics worth reporting
+	// whether or not the run completed: they locate the offending tick.
+	for _, v := range runner.Violations() {
+		fmt.Fprintf(os.Stderr, "adversary contract violation: %s\n", v)
 	}
 	if err != nil {
+		// On interruption the Runner has already flushed a final
+		// checkpoint (when -snapshot is set), so the run is resumable
+		// with -restore.
 		return fmt.Errorf("%s under %s: %w", alg.Name(), adv.Name(), err)
 	}
 	if jsonl != nil && jsonl.Err() != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ func TestRunAllAlgorithmAdversaryPairs(t *testing.T) {
 	algs := []string{"X", "V", "combined", "W", "oblivious", "ACC", "trivial", "sequential"}
 	for _, alg := range algs {
 		t.Run(alg, func(t *testing.T) {
-			if err := run([]string{"-alg", alg, "-n", "64", "-p", "16"}); err != nil {
+			if err := run(context.Background(), []string{"-alg", alg, "-n", "64", "-p", "16"}); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 		})
@@ -19,7 +20,7 @@ func TestRunAllAlgorithmAdversaryPairs(t *testing.T) {
 	advs := []string{"none", "random", "thrashing", "rotating", "halving", "postorder", "stalking-failstop"}
 	for _, adv := range advs {
 		t.Run(adv, func(t *testing.T) {
-			if err := run([]string{"-adv", adv, "-n", "64"}); err != nil {
+			if err := run(context.Background(), []string{"-adv", adv, "-n", "64"}); err != nil {
 				t.Fatalf("run: %v", err)
 			}
 		})
@@ -27,17 +28,17 @@ func TestRunAllAlgorithmAdversaryPairs(t *testing.T) {
 }
 
 func TestRunRejectsUnknownNames(t *testing.T) {
-	if err := run([]string{"-alg", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+	if err := run(context.Background(), []string{"-alg", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
 		t.Errorf("err = %v, want unknown algorithm", err)
 	}
-	if err := run([]string{"-adv", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown adversary") {
+	if err := run(context.Background(), []string{"-adv", "nope"}); err == nil || !strings.Contains(err.Error(), "unknown adversary") {
 		t.Errorf("err = %v, want unknown adversary", err)
 	}
 }
 
 func TestRunSurfacesTickLimit(t *testing.T) {
 	// V under the rotating thrasher stalls; the error must reach main.
-	err := run([]string{"-alg", "V", "-adv", "rotating", "-n", "32", "-ticks", "500"})
+	err := run(context.Background(), []string{"-alg", "V", "-adv", "rotating", "-n", "32", "-ticks", "500"})
 	if err == nil || !strings.Contains(err.Error(), "tick limit") {
 		t.Errorf("err = %v, want tick limit", err)
 	}
@@ -45,7 +46,7 @@ func TestRunSurfacesTickLimit(t *testing.T) {
 
 func TestRunWritesCSVProfile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "profile.csv")
-	if err := run([]string{"-alg", "X", "-adv", "random", "-n", "32", "-csv", path}); err != nil {
+	if err := run(context.Background(), []string{"-alg", "X", "-adv", "random", "-n", "32", "-csv", path}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -62,26 +63,26 @@ func TestRunWritesCSVProfile(t *testing.T) {
 }
 
 func TestRunBudgetedEvents(t *testing.T) {
-	if err := run([]string{"-adv", "random", "-events", "10", "-n", "64"}); err != nil {
+	if err := run(context.Background(), []string{"-adv", "random", "-events", "10", "-n", "64"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRecordAndReplayPattern(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pattern.json")
-	if err := run([]string{"-alg", "X", "-adv", "halving", "-n", "32", "-record", path}); err != nil {
+	if err := run(context.Background(), []string{"-alg", "X", "-adv", "halving", "-n", "32", "-record", path}); err != nil {
 		t.Fatalf("record run: %v", err)
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("pattern file missing: %v", err)
 	}
-	if err := run([]string{"-alg", "X", "-n", "32", "-replay", path}); err != nil {
+	if err := run(context.Background(), []string{"-alg", "X", "-n", "32", "-replay", path}); err != nil {
 		t.Fatalf("replay run: %v", err)
 	}
 }
 
 func TestRunReplayRejectsMissingFile(t *testing.T) {
-	if err := run([]string{"-replay", "/nonexistent/pattern.json"}); err == nil {
+	if err := run(context.Background(), []string{"-replay", "/nonexistent/pattern.json"}); err == nil {
 		t.Fatal("want error for missing pattern file")
 	}
 }
@@ -90,7 +91,7 @@ func TestRunSnapshotAndRestore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.snap")
 	// A run churny enough to outlast several checkpoint intervals.
 	args := []string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-seed", "5", "-n", "128", "-p", "32"}
-	if err := run(append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
+	if err := run(context.Background(), append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
 		t.Fatalf("snapshot run: %v", err)
 	}
 	if _, err := os.Stat(path); err != nil {
@@ -98,7 +99,7 @@ func TestRunSnapshotAndRestore(t *testing.T) {
 	}
 	// Resuming the checkpoint with matching -alg/-adv/-seed must finish
 	// cleanly; -n/-p come from the snapshot, so we omit them.
-	if err := run([]string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-seed", "5", "-restore", path}); err != nil {
+	if err := run(context.Background(), []string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-seed", "5", "-restore", path}); err != nil {
 		t.Fatalf("restore run: %v", err)
 	}
 }
@@ -106,29 +107,29 @@ func TestRunSnapshotAndRestore(t *testing.T) {
 func TestRunRestoreRejectsMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.snap")
 	args := []string{"-alg", "X", "-adv", "random", "-fail", "0.3", "-restart", "0.6", "-n", "128", "-p", "32"}
-	if err := run(append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
+	if err := run(context.Background(), append(args, "-snapshot", path, "-snapshot-every", "4")); err != nil {
 		t.Fatalf("snapshot run: %v", err)
 	}
-	if err := run([]string{"-alg", "V", "-adv", "random", "-restore", path}); err == nil {
+	if err := run(context.Background(), []string{"-alg", "V", "-adv", "random", "-restore", path}); err == nil {
 		t.Fatal("want error resuming an X snapshot with -alg V")
 	}
 }
 
 func TestRunRestoreRejectsMissingOrCorruptFile(t *testing.T) {
-	if err := run([]string{"-restore", filepath.Join(t.TempDir(), "absent.snap")}); err == nil {
+	if err := run(context.Background(), []string{"-restore", filepath.Join(t.TempDir(), "absent.snap")}); err == nil {
 		t.Fatal("want error for missing snapshot file")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.snap")
 	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-restore", bad}); err == nil {
+	if err := run(context.Background(), []string{"-restore", bad}); err == nil {
 		t.Fatal("want error for corrupt snapshot file")
 	}
 }
 
 func TestRunRejectsBadSnapshotInterval(t *testing.T) {
-	if err := run([]string{"-snapshot", "x.snap", "-snapshot-every", "0", "-n", "16"}); err == nil {
+	if err := run(context.Background(), []string{"-snapshot", "x.snap", "-snapshot-every", "0", "-n", "16"}); err == nil {
 		t.Fatal("want error for -snapshot-every 0")
 	}
 }

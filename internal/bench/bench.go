@@ -6,11 +6,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/pram"
 )
@@ -40,6 +43,17 @@ type Table struct {
 	Rows   [][]string
 	// Notes holds derived observations (fitted slopes, verdicts).
 	Notes []string
+	// Errors reports the sweep points that failed to produce a row:
+	// one entry per degraded point, "label: cause". A table with errors
+	// still renders its surviving rows — a failed point degrades the
+	// sweep to partial results instead of aborting it.
+	Errors []string
+}
+
+// fail records a degraded point: the sweep continues with the point's
+// row absent and the failure reported as data.
+func (t *Table) fail(point string, err error) {
+	t.Errors = append(t.Errors, fmt.Sprintf("%s: %v", point, err))
 }
 
 // Render writes the table as aligned text.
@@ -68,6 +82,9 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.Rows {
 		line(row)
 	}
+	for _, e := range t.Errors {
+		fmt.Fprintf(w, "  !! %s\n", e)
+	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  -> %s\n", n)
 	}
@@ -89,6 +106,9 @@ func (t *Table) RenderMarkdown(w io.Writer) {
 		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
 	}
 	fmt.Fprintln(w)
+	for _, e := range t.Errors {
+		fmt.Fprintf(w, "> **degraded point:** %s\n", e)
+	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "> %s\n", n)
 	}
@@ -101,8 +121,11 @@ type Experiment struct {
 	ID string
 	// Title describes the experiment.
 	Title string
-	// Run executes the experiment at the given scale.
-	Run func(s Scale) []Table
+	// Run executes the experiment at the given scale. Cancellation of
+	// ctx stops in-flight runs at the next tick boundary and drains the
+	// remaining points as canceled-point errors; the returned tables
+	// hold whatever rows completed, with failed points in Table.Errors.
+	Run func(ctx context.Context, s Scale) []Table
 }
 
 // All returns the full experiment registry in order.
@@ -159,18 +182,72 @@ func Slope(xs, ys []float64) float64 {
 	return (n*sxy - sx*sy) / den
 }
 
-// runWA executes one Write-All run and returns its metrics; errors abort
-// the experiment with a panic because experiments are driven by the CLI
-// and benches, where a failed run is a harness bug (algorithms are
-// verified in the test suite).
-func runWA(cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) pram.Metrics {
-	r := runners.Get().(*pram.Runner)
-	defer runners.Put(r)
-	got, err := r.Run(cfg, alg, adv)
-	if err != nil {
-		panic(fmt.Sprintf("bench: Run(%s, %s): %v", alg.Name(), adv.Name(), err))
+// pointDeadlineNs is the per-point wall-clock budget in nanoseconds;
+// zero (the default) disables the watchdog and runs points inline.
+var pointDeadlineNs atomic.Int64
+
+// SetPointDeadline bounds the wall-clock time of each sweep point (one
+// runWA/runWACapped call). Zero or negative disables the watchdog. With
+// a deadline set, a point that exceeds it is canceled cooperatively; a
+// point whose machine is stuck inside a single tick and cannot observe
+// cancellation is abandoned (its goroutine and pooled runner leak, by
+// design) and reported as a deadline error, so one hung run degrades
+// that point rather than the whole sweep. MaxTicks bounds logical time;
+// this bounds wall-clock time — livelocks burn ticks, hangs burn hours.
+func SetPointDeadline(d time.Duration) {
+	pointDeadlineNs.Store(int64(d))
+}
+
+// outcome is one sweep point's result: the metrics, or the error that
+// replaced them. Experiments assemble rows from successful outcomes and
+// route errors into Table.Errors via Table.fail.
+type outcome struct {
+	m   pram.Metrics
+	err error
+}
+
+// runWA executes one Write-All run and returns its metrics. A canceled
+// ctx drains the point immediately (so a sweep's remaining points fall
+// through fast after SIGINT); a run error — tick limit, budget
+// violation, worker panic — is returned for per-point capture instead
+// of aborting the experiment.
+func runWA(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) (pram.Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return pram.Metrics{}, fmt.Errorf("bench: point canceled: %w", err)
 	}
-	return got
+	d := time.Duration(pointDeadlineNs.Load())
+	if d <= 0 {
+		r := runners.Get().(*pram.Runner)
+		defer runners.Put(r)
+		return r.RunCtx(ctx, cfg, alg, adv)
+	}
+
+	// Watchdog mode: run the point on its own goroutine under a
+	// deadline. Cancellation is cooperative (the runner polls every 64
+	// ticks), so the normal overrun path is the goroutine returning a
+	// context error shortly after the deadline. The grace window covers
+	// that return trip; a machine that is truly wedged inside one tick
+	// never observes cancellation, and after the grace expires the point
+	// is abandoned: its goroutine and runner are deliberately leaked
+	// (the runner must not return to the pool mid-run) and the point
+	// reports a deadline error.
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	r := runners.Get().(*pram.Runner)
+	ch := make(chan outcome, 1)
+	go func() {
+		m, err := r.RunCtx(tctx, cfg, alg, adv)
+		ch <- outcome{m, err}
+	}()
+	grace := d/4 + time.Second
+	select {
+	case out := <-ch:
+		runners.Put(r)
+		return out.m, out.err
+	case <-time.After(d + grace):
+		return pram.Metrics{}, fmt.Errorf("bench: point (%s vs %s, N=%d P=%d) hung past deadline %v; abandoned",
+			alg.Name(), adv.Name(), cfg.N, cfg.P, d)
+	}
 }
 
 // runners pools pram.Runner values so the sweep grid reuses machine

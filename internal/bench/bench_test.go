@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -98,9 +99,12 @@ func TestQuickExperimentsProduceSaneTables(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			for _, tb := range e.Run(Quick) {
+			for _, tb := range e.Run(context.Background(), Quick) {
 				if len(tb.Rows) == 0 {
 					t.Error("table has no rows")
+				}
+				for _, msg := range tb.Errors {
+					t.Errorf("degraded point: %s", msg)
 				}
 				for i, row := range tb.Rows {
 					if len(row) != len(tb.Header) {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"repro/internal/adversary"
 	"repro/internal/pram"
 	"repro/internal/writeall"
@@ -11,7 +13,7 @@ import (
 // that are sufficient to assure efficient solutions?" - by auditing what
 // each algorithm actually uses. The machine records per-cycle maxima;
 // the paper's exposition budget is <= 4 reads and <= 2 writes.
-func E17CycleAudit(s Scale) []Table {
+func E17CycleAudit(ctx context.Context, s Scale) []Table {
 	n := 128
 	if s == Full {
 		n = 512
@@ -44,7 +46,11 @@ func E17CycleAudit(s Scale) []Table {
 		adv := adversary.NewRandom(0.1, 0.6, 53)
 		adv.MaxEvents = int64(n)
 		cfg := pram.Config{N: n, P: n / 2, AllowSnapshot: e.snapshot}
-		got := runWA(cfg, alg, adv)
+		got, err := runWA(ctx, cfg, alg, adv)
+		if err != nil {
+			t.fail(alg.Name(), err)
+			continue
+		}
 		budget := "within <=4r/<=2w"
 		if e.snapshot {
 			budget = "snapshot model (Thm 3.2)"

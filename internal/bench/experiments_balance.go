@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -15,7 +16,7 @@ import (
 // the array-write contribution is the discriminating measure.) Balance is
 // the entire point of V's allocation phase (the Theorem 3.2-style
 // divide-and-conquer assignment); X makes only local decisions.
-func E16LoadBalance(s Scale) []Table {
+func E16LoadBalance(ctx context.Context, s Scale) []Table {
 	n := 256
 	if s == Full {
 		n = 1024
@@ -43,17 +44,20 @@ func E16LoadBalance(s Scale) []Table {
 	for _, mkAdv := range advs {
 		for _, mkAlg := range algs {
 			alg, adv := mkAlg(), mkAdv()
+			pointID := fmt.Sprintf("%s vs %s", alg.Name(), adv.Name())
 			tracker := pram.NewProcTracker(p)
 			r := runners.Get().(*pram.Runner)
 			mach, err := r.Machine(pram.Config{N: n, P: p, Sink: tracker}, alg, adv)
 			if err != nil {
 				runners.Put(r)
-				panic(fmt.Sprintf("bench: E16 New: %v", err))
+				t.fail(pointID, err)
+				continue
 			}
-			got, err := mach.Run()
+			got, err := mach.RunCtx(ctx)
 			runners.Put(r)
 			if err != nil {
-				panic(fmt.Sprintf("bench: E16 Run: %v", err))
+				t.fail(pointID, err)
+				continue
 			}
 			loads := tracker.Progress()
 			maxOverMean, spread := balanceStats(loads)

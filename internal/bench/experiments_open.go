@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
@@ -13,7 +14,7 @@ import (
 // S = O(N + P log^2 N / log log N), while "the exact analysis of algorithm
 // V without restarts is still open". We measure both algorithms under the
 // same no-restart halving attack and report their ratio.
-func E15WvsV(s Scale) []Table {
+func E15WvsV(ctx context.Context, s Scale) []Table {
 	sizes := []int{128, 256, 512}
 	if s == Full {
 		sizes = []int{256, 512, 1024, 2048, 4096}
@@ -28,11 +29,19 @@ func E15WvsV(s Scale) []Table {
 	for _, n := range sizes {
 		advW := adversary.NewHalving()
 		advW.NoRestarts = true
-		sw := runWA(pram.Config{N: n, P: n}, writeall.NewW(), advW)
+		sw, err := runWA(ctx, pram.Config{N: n, P: n}, writeall.NewW(), advW)
+		if err != nil {
+			t.fail(fmt.Sprintf("W N=%d", n), err)
+			continue
+		}
 
 		advV := adversary.NewHalving()
 		advV.NoRestarts = true
-		sv := runWA(pram.Config{N: n, P: n}, writeall.NewV(), advV)
+		sv, err := runWA(ctx, pram.Config{N: n, P: n}, writeall.NewV(), advV)
+		if err != nil {
+			t.fail(fmt.Sprintf("V N=%d", n), err)
+			continue
+		}
 
 		l2 := log2(n)
 		marBound := float64(n) * l2 * l2 / log2OfLog(n)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,17 +13,21 @@ import (
 )
 
 // runSim executes a program on the robust executor and returns the
-// metrics.
-func runSim(p core.Program, realP int, adv pram.Adversary, cfg pram.Config) pram.Metrics {
+// metrics, or the error for per-point capture. Cancellation is checked
+// at point granularity (the core machine has no tick-level hook).
+func runSim(ctx context.Context, p core.Program, realP int, adv pram.Adversary, cfg pram.Config) (pram.Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return pram.Metrics{}, fmt.Errorf("bench: point canceled: %w", err)
+	}
 	m, err := core.NewMachine(p, realP, adv, cfg)
 	if err != nil {
-		panic(fmt.Sprintf("bench: NewMachine(%s): %v", p.Name(), err))
+		return pram.Metrics{}, fmt.Errorf("bench: NewMachine(%s): %w", p.Name(), err)
 	}
 	got, err := m.Run()
 	if err != nil {
-		panic(fmt.Sprintf("bench: Run(%s under %s): %v", p.Name(), adv.Name(), err))
+		return got, fmt.Errorf("bench: Run(%s under %s): %w", p.Name(), adv.Name(), err)
 	}
-	return got
+	return got, nil
 }
 
 // stepOverhead computes the per-step overhead ratio sigma = S/(tau*N+|F|),
@@ -34,7 +39,7 @@ func stepOverhead(m pram.Metrics, tau int) float64 {
 // E9Simulation reproduces Theorem 4.1 / Corollary 4.10: simulating PRAM
 // steps on the restartable fail-stop machine with overhead ratio
 // O(log^2 N).
-func E9Simulation(s Scale) []Table {
+func E9Simulation(ctx context.Context, s Scale) []Table {
 	sizes := []int{64, 128, 256, 512}
 	if s == Full {
 		sizes = []int{128, 256, 512, 1024, 2048}
@@ -46,12 +51,17 @@ func E9Simulation(s Scale) []Table {
 		Header: []string{"N", "tau", "|F|", "S", "sigma(avg)", "sigma(worst step)", "worst/log^2 N"},
 	}
 	for _, n := range sizes {
+		if err := ctx.Err(); err != nil {
+			t.fail(fmt.Sprintf("N=%d", n), err)
+			continue
+		}
 		p := prog.PrefixSum{N: n}
 		adv := adversary.NewRandom(0.05, 0.5, 31)
 		adv.MaxEvents = int64(p.Steps() * n / int(log2(n))) // Cor 4.12's per-step budget
 		got, steps, err := core.RunWithStepMetrics(p, n, adv, pram.Config{}, core.EngineVX)
 		if err != nil {
-			panic(fmt.Sprintf("bench: E9 run: %v", err))
+			t.fail(fmt.Sprintf("N=%d", n), err)
+			continue
 		}
 		avg := stepOverhead(got, p.Steps())
 		worst := core.MaxStepSigma(steps, n)
@@ -70,7 +80,7 @@ func E9Simulation(s Scale) []Table {
 // E10OverheadRatio reproduces Corollary 4.11: the overhead ratio improves
 // as the failure pattern grows - O(log N) at |F| = Omega(N log N) and O(1)
 // at |F| = Omega(N^1.6).
-func E10OverheadRatio(s Scale) []Table {
+func E10OverheadRatio(ctx context.Context, s Scale) []Table {
 	n := 128
 	if s == Full {
 		n = 512
@@ -96,7 +106,11 @@ func E10OverheadRatio(s Scale) []Table {
 			r.MaxEvents = m
 			adv = r
 		}
-		got := runSim(p, n, adv, pram.Config{})
+		got, err := runSim(ctx, p, n, adv, pram.Config{})
+		if err != nil {
+			t.fail(fmt.Sprintf("|F| target %d", m), err)
+			continue
+		}
 		sig := stepOverhead(got, tau)
 		t.Rows = append(t.Rows, []string{
 			itoa(m), itoa(got.FSize()), itoa(got.S()), f2(sig), f2(sig / log2(n)),
@@ -112,7 +126,7 @@ func E10OverheadRatio(s Scale) []Table {
 // E11Optimality reproduces Corollary 4.12: with P <= N/log^2 N processors
 // and O(N/log N) failures per step, the simulation is work-optimal:
 // S = O(tau * N).
-func E11Optimality(s Scale) []Table {
+func E11Optimality(ctx context.Context, s Scale) []Table {
 	sizes := []int{256, 512, 1024}
 	if s == Full {
 		sizes = []int{256, 512, 1024, 2048, 4096}
@@ -125,6 +139,11 @@ func E11Optimality(s Scale) []Table {
 	}
 	for _, engine := range []core.Engine{core.EngineVX, core.EngineX} {
 		for _, n := range sizes {
+			pointID := fmt.Sprintf("%s N=%d", engine, n)
+			if err := ctx.Err(); err != nil {
+				t.fail(pointID, err)
+				continue
+			}
 			l2 := int(log2(n))
 			realP := max(1, n/(l2*l2))
 			p := prog.PrefixSum{N: n}
@@ -132,11 +151,13 @@ func E11Optimality(s Scale) []Table {
 			adv.MaxEvents = int64(p.Steps() * (n / l2))
 			m, err := core.NewMachineWithEngine(p, realP, adv, pram.Config{}, engine)
 			if err != nil {
-				panic(fmt.Sprintf("bench: NewMachineWithEngine(%s): %v", p.Name(), err))
+				t.fail(pointID, err)
+				continue
 			}
 			got, err := m.Run()
 			if err != nil {
-				panic(fmt.Sprintf("bench: Run(%s): %v", p.Name(), err))
+				t.fail(pointID, err)
+				continue
 			}
 			t.Rows = append(t.Rows, []string{
 				engine.String(), itoa(int64(n)), itoa(int64(realP)), itoa(int64(p.Steps())),
@@ -156,7 +177,7 @@ func E11Optimality(s Scale) []Table {
 // randomized ACC algorithm's expected work while algorithm X (deterministic,
 // position in shared memory) is unaffected, and ACC is efficient when the
 // adversary is off-line.
-func E12Stalking(s Scale) []Table {
+func E12Stalking(ctx context.Context, s Scale) []Table {
 	n := 64
 	if s == Full {
 		n = 256
@@ -181,27 +202,43 @@ func E12Stalking(s Scale) []Table {
 	// Baselines: ACC without adversary and under an (off-line-style)
 	// random pattern.
 	accA := writeall.NewACC(101)
-	m1 := runWA(pram.Config{N: n, P: n}, accA, adversary.None{})
-	addRow("ACC, failure-free", n, m1, true)
+	if m1, err := runWA(ctx, pram.Config{N: n, P: n}, accA, adversary.None{}); err != nil {
+		t.fail("ACC, failure-free", err)
+	} else {
+		addRow("ACC, failure-free", n, m1, true)
+	}
 
 	accB := writeall.NewACC(101)
-	m2 := runWA(pram.Config{N: n, P: n}, accB, adversary.NewRandom(0.1, 0.5, 43))
-	addRow("ACC, random failures", n, m2, true)
+	if m2, err := runWA(ctx, pram.Config{N: n, P: n}, accB, adversary.NewRandom(0.1, 0.5, 43)); err != nil {
+		t.fail("ACC, random failures", err)
+	} else {
+		addRow("ACC, random failures", n, m2, true)
+	}
 
 	// The on-line stalker, fail-stop variant: kills touchers down to one
 	// survivor. Record the pattern it inflicts.
 	accC := writeall.NewACC(101)
 	rec := adversary.NewRecorder(writeall.NewStalking(accC.Layout(n, n), false))
-	m3 := runWA(pram.Config{N: n, P: n}, accC, rec)
-	addRow("ACC, stalking (fail-stop, on-line)", n, m3, true)
+	m3, err := runWA(ctx, pram.Config{N: n, P: n}, accC, rec)
+	if err != nil {
+		// The replay row depends on the recorded pattern, so it degrades
+		// with this one.
+		t.fail("ACC, stalking (fail-stop, on-line)", err)
+		t.fail("ACC, same pattern replayed (off-line)", fmt.Errorf("skipped: no recorded pattern"))
+	} else {
+		addRow("ACC, stalking (fail-stop, on-line)", n, m3, true)
 
-	// The same pattern made off-line: replay it verbatim against a fresh
-	// random stream. Decorrelated from the coins, it is just noise - the
-	// paper's point that ACC's guarantees hold only for off-line
-	// adversaries.
-	accOff := writeall.NewACC(999)
-	mOff := runWA(pram.Config{N: n, P: n}, accOff, rec.Replay())
-	addRow("ACC, same pattern replayed (off-line)", n, mOff, true)
+		// The same pattern made off-line: replay it verbatim against a
+		// fresh random stream. Decorrelated from the coins, it is just
+		// noise - the paper's point that ACC's guarantees hold only for
+		// off-line adversaries.
+		accOff := writeall.NewACC(999)
+		if mOff, err := runWA(ctx, pram.Config{N: n, P: n}, accOff, rec.Replay()); err != nil {
+			t.fail("ACC, same pattern replayed (off-line)", err)
+		} else {
+			addRow("ACC, same pattern replayed (off-line)", n, mOff, true)
+		}
+	}
 
 	// Restartable stalking: only the coincidence of every live processor
 	// touching the stalked leaf ends the siege, so the completion time is
@@ -210,12 +247,17 @@ func E12Stalking(s Scale) []Table {
 	// lower bounds on the true expected work.
 	for _, p := range []int{2, 4, 8} {
 		var worst pram.Metrics
-		capped := 0
+		capped, failed := 0, false
 		const seeds = 5
 		for seed := int64(1); seed <= seeds; seed++ {
 			accD := writeall.NewACC(100 + seed)
-			m4, fin := runWACapped(pram.Config{N: n, P: p, MaxTicks: 200000},
+			m4, fin, err := runWACapped(ctx, pram.Config{N: n, P: p, MaxTicks: 200000},
 				accD, writeall.NewStalking(accD.Layout(n, p), true))
+			if err != nil {
+				t.fail(fmt.Sprintf("ACC, stalking (restart, P=%d, seed %d)", p, seed), err)
+				failed = true
+				break
+			}
 			if !fin {
 				capped++
 			}
@@ -223,16 +265,21 @@ func E12Stalking(s Scale) []Table {
 				worst = m4
 			}
 		}
-		addRow(fmt.Sprintf("ACC, stalking (restart, worst of %d seeds, %d capped)", seeds, capped),
-			p, worst, capped == 0)
+		if !failed {
+			addRow(fmt.Sprintf("ACC, stalking (restart, worst of %d seeds, %d capped)", seeds, capped),
+				p, worst, capped == 0)
+		}
 	}
 
 	// X under the same stalker: its position lives in shared memory, so
 	// stalking cannot scatter it; the veto forces completion quickly.
 	algX := writeall.NewX()
-	m5, fin := runWACapped(pram.Config{N: n, P: n, MaxTicks: 200000},
-		algX, writeall.NewStalking(algX.Layout(n, n), true))
-	addRow("X, stalking (restart)", n, m5, fin)
+	if m5, fin, err := runWACapped(ctx, pram.Config{N: n, P: n, MaxTicks: 200000},
+		algX, writeall.NewStalking(algX.Layout(n, n), true)); err != nil {
+		t.fail("X, stalking (restart)", err)
+	} else {
+		addRow("X, stalking (restart)", n, m5, fin)
+	}
 
 	t.Notes = append(t.Notes,
 		"fail-stop stalking already multiplies ACC's work; restartable stalking grows",

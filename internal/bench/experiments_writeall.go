@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -12,24 +13,22 @@ import (
 
 // runWACapped runs a Write-All instance that is allowed to hit the tick
 // limit (for demonstrating non-termination); finished reports whether the
-// task completed.
-func runWACapped(cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) (m pram.Metrics, finished bool) {
-	r := runners.Get().(*pram.Runner)
-	defer runners.Put(r)
-	got, err := r.Run(cfg, alg, adv)
+// task completed. Other run errors are returned for per-point capture.
+func runWACapped(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) (m pram.Metrics, finished bool, err error) {
+	got, err := runWA(ctx, cfg, alg, adv)
 	if err != nil {
 		if errors.Is(err, pram.ErrTickLimit) {
-			return got, false
+			return got, false, nil
 		}
-		panic(fmt.Sprintf("bench: Run(%s, %s): %v", alg.Name(), adv.Name(), err))
+		return got, false, err
 	}
-	return got, true
+	return got, true, nil
 }
 
 // E1Thrashing reproduces Example 2.2: under the thrashing adversary the
 // charge-everything work S' is Theta(N*P) while the completed work S stays
 // linear, which is why the paper charges only completed update cycles.
-func E1Thrashing(s Scale) []Table {
+func E1Thrashing(ctx context.Context, s Scale) []Table {
 	sizes := []int{32, 64, 128, 256}
 	if s == Full {
 		sizes = []int{128, 256, 512, 1024}
@@ -57,13 +56,19 @@ func E1Thrashing(s Scale) []Table {
 	type point struct {
 		name string
 		got  pram.Metrics
+		err  error
 	}
 	points := Points(len(jobs), func(i int) point {
 		alg := jobs[i].mk()
-		return point{alg.Name(), runWA(pram.Config{N: jobs[i].n, P: jobs[i].n}, alg, adversary.Thrashing{})}
+		got, err := runWA(ctx, pram.Config{N: jobs[i].n, P: jobs[i].n}, alg, adversary.Thrashing{})
+		return point{alg.Name(), got, err}
 	})
 	for i, pt := range points {
 		n, got := jobs[i].n, pt.got
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("%s N=%d", pt.name, n), pt.err)
+			continue
+		}
 		t.Rows = append(t.Rows, []string{
 			pt.name, itoa(int64(n)), itoa(int64(got.Ticks)),
 			itoa(got.S()), itoa(got.SPrime()),
@@ -79,7 +84,7 @@ func E1Thrashing(s Scale) []Table {
 
 // E2LowerBound reproduces Theorem 3.1: the halving adversary forces
 // Omega(N log N) completed work on every algorithm.
-func E2LowerBound(s Scale) []Table {
+func E2LowerBound(ctx context.Context, s Scale) []Table {
 	sizes := []int{64, 128, 256, 512}
 	if s == Full {
 		sizes = []int{256, 512, 1024, 2048, 4096}
@@ -104,12 +109,18 @@ func E2LowerBound(s Scale) []Table {
 			jobs = append(jobs, job{n, i})
 		}
 	}
-	points := Points(len(jobs), func(i int) pram.Metrics {
+	points := Points(len(jobs), func(i int) outcome {
 		n := jobs[i].n
-		return runWA(pram.Config{N: n, P: n}, algs()[jobs[i].algIdx], adversary.NewHalving())
+		got, err := runWA(ctx, pram.Config{N: n, P: n}, algs()[jobs[i].algIdx], adversary.NewHalving())
+		return outcome{got, err}
 	})
-	for i, got := range points {
+	for i, pt := range points {
 		n, alg := jobs[i].n, algs()[jobs[i].algIdx]
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("%s N=%d", alg.Name(), n), pt.err)
+			continue
+		}
+		got := pt.m
 		t.Rows = append(t.Rows, []string{
 			alg.Name(), itoa(int64(n)), itoa(got.S()),
 			f2(float64(got.S()) / (float64(n) * log2(n))),
@@ -124,6 +135,9 @@ func E2LowerBound(s Scale) []Table {
 	}
 	for _, alg := range algs() {
 		f := fits[alg.Name()]
+		if f == nil {
+			continue // every point of this algorithm degraded
+		}
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"%s: fitted exponent of S vs N = %.3f (super-linear, consistent with N log N)",
 			alg.Name(), Slope(f.xs, f.ys)))
@@ -134,6 +148,9 @@ func E2LowerBound(s Scale) []Table {
 	marks := []rune{'x', 'v', '+'}
 	for i, alg := range algs() {
 		f := fits[alg.Name()]
+		if f == nil {
+			continue
+		}
 		series = append(series, Series{Label: alg.Name(), Mark: marks[i%len(marks)], Xs: f.xs, Ys: f.ys})
 	}
 	t.Notes = append(t.Notes, PlotLogLog("work under the halving adversary", series, 48, 10)...)
@@ -142,7 +159,7 @@ func E2LowerBound(s Scale) []Table {
 
 // E3Oblivious reproduces Theorem 3.2: in the unit-cost snapshot model the
 // oblivious strategy matches the lower bound at O(N log N).
-func E3Oblivious(s Scale) []Table {
+func E3Oblivious(ctx context.Context, s Scale) []Table {
 	sizes := []int{64, 128, 256, 512}
 	if s == Full {
 		sizes = []int{128, 256, 512, 1024}
@@ -167,13 +184,19 @@ func E3Oblivious(s Scale) []Table {
 			jobs = append(jobs, job{n, i})
 		}
 	}
-	points := Points(len(jobs), func(i int) pram.Metrics {
+	points := Points(len(jobs), func(i int) outcome {
 		cfg := pram.Config{N: jobs[i].n, P: jobs[i].n, AllowSnapshot: true}
-		return runWA(cfg, writeall.NewOblivious(), mkAdvs[jobs[i].advIdx]())
+		got, err := runWA(ctx, cfg, writeall.NewOblivious(), mkAdvs[jobs[i].advIdx]())
+		return outcome{got, err}
 	})
 	var xs, ys []float64
-	for i, got := range points {
+	for i, pt := range points {
 		n, adv := jobs[i].n, mkAdvs[jobs[i].advIdx]()
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("%s N=%d", adv.Name(), n), pt.err)
+			continue
+		}
+		got := pt.m
 		t.Rows = append(t.Rows, []string{
 			adv.Name(), itoa(int64(n)), itoa(got.S()),
 			f2(float64(got.S()) / (float64(n) * log2(n))),
@@ -191,7 +214,7 @@ func E3Oblivious(s Scale) []Table {
 
 // E4VFailStop reproduces Lemma 4.2: V's completed work under fail-stop
 // failures without restarts is O(N + P log^2 N).
-func E4VFailStop(s Scale) []Table {
+func E4VFailStop(ctx context.Context, s Scale) []Table {
 	sizes := []int{128, 256, 512}
 	if s == Full {
 		sizes = []int{256, 512, 1024, 2048, 4096}
@@ -212,13 +235,19 @@ func E4VFailStop(s Scale) []Table {
 			jobs = append(jobs, job{n, p})
 		}
 	}
-	points := Points(len(jobs), func(i int) pram.Metrics {
+	points := Points(len(jobs), func(i int) outcome {
 		adv := adversary.NewRandom(0.02, 0, 5)
 		adv.MaxEvents = int64(jobs[i].p) / 2
-		return runWA(pram.Config{N: jobs[i].n, P: jobs[i].p}, writeall.NewV(), adv)
+		got, err := runWA(ctx, pram.Config{N: jobs[i].n, P: jobs[i].p}, writeall.NewV(), adv)
+		return outcome{got, err}
 	})
-	for i, got := range points {
+	for i, pt := range points {
 		n, p := jobs[i].n, jobs[i].p
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("N=%d P=%d", n, p), pt.err)
+			continue
+		}
+		got := pt.m
 		bound := float64(n) + float64(p)*log2(n)*log2(n)
 		t.Rows = append(t.Rows, []string{
 			itoa(int64(n)), itoa(int64(p)), itoa(got.FSize()), itoa(got.S()),
@@ -232,7 +261,7 @@ func E4VFailStop(s Scale) []Table {
 
 // E5VRestart reproduces Theorem 4.3: each failure/restart event costs V at
 // most O(log N) extra completed work.
-func E5VRestart(s Scale) []Table {
+func E5VRestart(ctx context.Context, s Scale) []Table {
 	n := 512
 	if s == Full {
 		n = 2048
@@ -254,7 +283,11 @@ func E5VRestart(s Scale) []Table {
 			r.Points = []pram.FailPoint{pram.FailBeforeReads, pram.FailAfterReads}
 			adv = r
 		}
-		got := runWA(pram.Config{N: n, P: p}, writeall.NewV(), adv)
+		got, err := runWA(ctx, pram.Config{N: n, P: p}, writeall.NewV(), adv)
+		if err != nil {
+			t.fail(fmt.Sprintf("M=%d", m), err)
+			continue
+		}
 		if i == 0 {
 			s0 = got.S()
 		}
@@ -274,7 +307,7 @@ func E5VRestart(s Scale) []Table {
 
 // E6XWorstCase reproduces Theorem 4.8: the post-order adversary forces
 // algorithm X to super-linear work approaching N^{log 3}.
-func E6XWorstCase(s Scale) []Table {
+func E6XWorstCase(ctx context.Context, s Scale) []Table {
 	sizes := []int{16, 32, 64, 128, 256}
 	if s == Full {
 		sizes = []int{16, 32, 64, 128, 256, 512, 1024}
@@ -287,19 +320,26 @@ func E6XWorstCase(s Scale) []Table {
 	}
 	type point struct {
 		got, ff pram.Metrics
+		err     error
 	}
 	points := Points(len(sizes), func(i int) point {
 		n := sizes[i]
 		algX := writeall.NewX()
-		return point{
-			got: runWA(pram.Config{N: n, P: n}, algX, writeall.NewPostOrder(algX.Layout(n, n))),
-			ff:  runWA(pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{}),
+		got, err := runWA(ctx, pram.Config{N: n, P: n}, algX, writeall.NewPostOrder(algX.Layout(n, n)))
+		if err != nil {
+			return point{err: err}
 		}
+		ff, err := runWA(ctx, pram.Config{N: n, P: n}, writeall.NewX(), adversary.None{})
+		return point{got: got, ff: ff, err: err}
 	})
 	var xs, ys, ffys []float64
 	var prev int64
 	for i, pt := range points {
 		n, got, ff := sizes[i], pt.got, pt.ff
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("N=%d", n), pt.err)
+			continue
+		}
 		ratio := "-"
 		if prev > 0 {
 			ratio = f2(float64(got.S()) / float64(prev))
@@ -328,7 +368,7 @@ func E6XWorstCase(s Scale) []Table {
 
 // E7XProcessorSweep reproduces Theorem 4.7: X's completed work grows like
 // N * P^{log 1.5 + eps} in the processor count.
-func E7XProcessorSweep(s Scale) []Table {
+func E7XProcessorSweep(ctx context.Context, s Scale) []Table {
 	n := 256
 	if s == Full {
 		n = 1024
@@ -343,14 +383,20 @@ func E7XProcessorSweep(s Scale) []Table {
 	for p := 4; p <= n; p *= 4 {
 		ps = append(ps, p)
 	}
-	points := Points(len(ps), func(i int) pram.Metrics {
+	points := Points(len(ps), func(i int) outcome {
 		p := ps[i]
 		algX := writeall.NewX()
-		return runWA(pram.Config{N: n, P: p}, algX, writeall.NewPostOrder(algX.Layout(n, p)))
+		got, err := runWA(ctx, pram.Config{N: n, P: p}, algX, writeall.NewPostOrder(algX.Layout(n, p)))
+		return outcome{got, err}
 	})
 	var xs, ys []float64
-	for i, got := range points {
+	for i, pt := range points {
 		p := ps[i]
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("P=%d", p), pt.err)
+			continue
+		}
+		got := pt.m
 		t.Rows = append(t.Rows, []string{
 			itoa(int64(p)), itoa(got.S()),
 			f2(float64(got.S()) / float64(n)),
@@ -367,7 +413,7 @@ func E7XProcessorSweep(s Scale) []Table {
 // E8Combined reproduces Theorem 4.9: interleaving V and X yields the
 // minimum of their bounds (at twice the cost) and guarantees termination
 // where V alone stalls.
-func E8Combined(s Scale) []Table {
+func E8Combined(ctx context.Context, s Scale) []Table {
 	n := 256
 	if s == Full {
 		n = 512
@@ -400,7 +446,11 @@ func E8Combined(s Scale) []Table {
 	for _, mkAdv := range advs {
 		for _, mkAlg := range algs {
 			alg, adv := mkAlg(), mkAdv()
-			got, finished := runWACapped(pram.Config{N: n, P: n, MaxTicks: maxTicks}, alg, adv)
+			got, finished, err := runWACapped(ctx, pram.Config{N: n, P: n, MaxTicks: maxTicks}, alg, adv)
+			if err != nil {
+				t.fail(fmt.Sprintf("%s vs %s", alg.Name(), adv.Name()), err)
+				continue
+			}
 			sCol := itoa(got.S())
 			fCol := "yes"
 			if !finished {
@@ -420,7 +470,7 @@ func E8Combined(s Scale) []Table {
 // E13XFailStop measures the Section 5 open problem: X's work under
 // fail-stop errors without restarts, against the conjectured
 // O(N log N log log N).
-func E13XFailStop(s Scale) []Table {
+func E13XFailStop(ctx context.Context, s Scale) []Table {
 	sizes := []int{64, 128, 256, 512}
 	if s == Full {
 		sizes = []int{256, 512, 1024, 2048, 4096}
@@ -431,15 +481,21 @@ func E13XFailStop(s Scale) []Table {
 		Claim:  "Section 5 conjecture: S = O(N log N log log N) without restarts",
 		Header: []string{"N", "S", "S/(N log N)", "S/(N log N log log N)"},
 	}
-	points := Points(len(sizes), func(i int) pram.Metrics {
+	points := Points(len(sizes), func(i int) outcome {
 		n := sizes[i]
 		adv := adversary.NewHalving()
 		adv.NoRestarts = true
-		return runWA(pram.Config{N: n, P: n}, writeall.NewX(), adv)
+		got, err := runWA(ctx, pram.Config{N: n, P: n}, writeall.NewX(), adv)
+		return outcome{got, err}
 	})
 	var xs, ys []float64
-	for i, got := range points {
+	for i, pt := range points {
 		n := sizes[i]
+		if pt.err != nil {
+			t.fail(fmt.Sprintf("N=%d", n), pt.err)
+			continue
+		}
+		got := pt.m
 		lln := math.Log2(log2(n))
 		t.Rows = append(t.Rows, []string{
 			itoa(int64(n)), itoa(got.S()),
@@ -461,7 +517,7 @@ func E13XFailStop(s Scale) []Table {
 }
 
 // E14XAblation compares the Remark 5 local optimizations of X.
-func E14XAblation(s Scale) []Table {
+func E14XAblation(ctx context.Context, s Scale) []Table {
 	n := 128
 	if s == Full {
 		n = 512
@@ -490,7 +546,13 @@ func E14XAblation(s Scale) []Table {
 	for _, mkAdv := range advs {
 		row := []string{mkAdv(lay).Name()}
 		for _, mkAlg := range variants {
-			got := runWA(pram.Config{N: n, P: p}, mkAlg(), mkAdv(lay))
+			alg := mkAlg()
+			got, err := runWA(ctx, pram.Config{N: n, P: p}, alg, mkAdv(lay))
+			if err != nil {
+				t.fail(fmt.Sprintf("%s vs %s", alg.Name(), mkAdv(lay).Name()), err)
+				row = append(row, "ERR")
+				continue
+			}
 			row = append(row, itoa(got.S()))
 		}
 		t.Rows = append(t.Rows, row)

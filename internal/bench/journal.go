@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // Journal is an append-only completion log for resumable sweeps. Each
@@ -18,7 +20,7 @@ import (
 // fully durable or absent; a torn final line (the process died mid-
 // write) is detected on open and truncated away.
 type Journal struct {
-	f       *os.File
+	f       *faultinject.File
 	entries map[string]json.RawMessage
 }
 
@@ -32,7 +34,8 @@ type journalEntry struct {
 // every complete entry. A trailing partial line from an interrupted
 // write is discarded and the file truncated to the last good entry.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := faultinject.OpenFile(faultinject.Active(), "journal", path,
+		os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bench: open journal: %w", err)
 	}

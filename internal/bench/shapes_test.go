@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,6 +17,16 @@ import (
 // growth exponent or a bound ratio out of its theorem's window, these fail
 // long before a human rereads EXPERIMENTS.md.
 
+// mustWA runs one Write-All point and fails the test on any run error.
+func mustWA(t *testing.T, cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) pram.Metrics {
+	t.Helper()
+	m, err := runWA(context.Background(), cfg, alg, adv)
+	if err != nil {
+		t.Fatalf("runWA(%s vs %s): %v", alg.Name(), adv.Name(), err)
+	}
+	return m
+}
+
 func TestShapeTheorem31LowerBound(t *testing.T) {
 	// S >= c * N log N with c not degenerating, for the main algorithms.
 	const n = 512
@@ -24,7 +35,7 @@ func TestShapeTheorem31LowerBound(t *testing.T) {
 		func() pram.Algorithm { return writeall.NewCombined() },
 	} {
 		alg := mk()
-		got := runWA(pram.Config{N: n, P: n}, alg, adversary.NewHalving())
+		got := mustWA(t, pram.Config{N: n, P: n}, alg, adversary.NewHalving())
 		c := float64(got.S()) / (float64(n) * log2(n))
 		if c < 1.0 {
 			t.Errorf("%s: S/(N log N) = %.2f, want >= 1 (Theorem 3.1 must bind)", alg.Name(), c)
@@ -34,7 +45,7 @@ func TestShapeTheorem31LowerBound(t *testing.T) {
 
 func TestShapeTheorem32UpperBound(t *testing.T) {
 	const n = 512
-	got := runWA(pram.Config{N: n, P: n, AllowSnapshot: true},
+	got := mustWA(t, pram.Config{N: n, P: n, AllowSnapshot: true},
 		writeall.NewOblivious(), adversary.NewHalving())
 	c := float64(got.S()) / (float64(n) * log2(n))
 	if c > 2.0 {
@@ -46,7 +57,7 @@ func TestShapeTheorem48DoublingRatio(t *testing.T) {
 	sOf := func(n int) float64 {
 		algX := writeall.NewX()
 		adv := writeall.NewPostOrder(algX.Layout(n, n))
-		return float64(runWA(pram.Config{N: n, P: n}, algX, adv).S())
+		return float64(mustWA(t, pram.Config{N: n, P: n}, algX, adv).S())
 	}
 	r1 := sOf(256) / sOf(128)
 	r2 := sOf(512) / sOf(256)
@@ -66,7 +77,7 @@ func TestShapeTheorem47ProcessorExponent(t *testing.T) {
 	for p := 8; p <= n; p *= 4 {
 		algX := writeall.NewX()
 		adv := writeall.NewPostOrder(algX.Layout(n, p))
-		got := runWA(pram.Config{N: n, P: p}, algX, adv)
+		got := mustWA(t, pram.Config{N: n, P: p}, algX, adv)
 		xs = append(xs, float64(p))
 		ys = append(ys, float64(got.S()))
 	}
@@ -80,11 +91,11 @@ func TestShapeTheorem47ProcessorExponent(t *testing.T) {
 func TestShapeTheorem43MarginalEventCost(t *testing.T) {
 	const n = 1024
 	p := 8
-	s0 := runWA(pram.Config{N: n, P: p}, writeall.NewV(), adversary.None{}).S()
+	s0 := mustWA(t, pram.Config{N: n, P: p}, writeall.NewV(), adversary.None{}).S()
 	r := adversary.NewRandom(0.4, 0.9, 17)
 	r.MaxEvents = 2048
 	r.Points = []pram.FailPoint{pram.FailBeforeReads, pram.FailAfterReads}
-	got := runWA(pram.Config{N: n, P: p}, writeall.NewV(), r)
+	got := mustWA(t, pram.Config{N: n, P: p}, writeall.NewV(), r)
 	marginal := float64(got.S()-s0) / (float64(got.FSize()) * log2(n))
 	if marginal > 1.0 {
 		t.Errorf("V marginal cost per event = %.2f log N, want O(log N) with small constant", marginal)
@@ -145,7 +156,7 @@ func TestShapeCorollary411SigmaFallsWithF(t *testing.T) {
 
 func TestShapeExample22Quadratic(t *testing.T) {
 	const n = 128
-	got := runWA(pram.Config{N: n, P: n}, writeall.NewTrivial(), adversary.Thrashing{})
+	got := mustWA(t, pram.Config{N: n, P: n}, writeall.NewTrivial(), adversary.Thrashing{})
 	sPrimeRatio := float64(got.SPrime()) / float64(n*n)
 	sRatio := float64(got.S()) / float64(n)
 	if sPrimeRatio < 0.25 {

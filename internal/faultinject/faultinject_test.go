@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPointAlwaysFires(t *testing.T) {
+	r := New(1)
+	p := r.Set("x", Spec{Mode: Error})
+	for i := 0; i < 5; i++ {
+		if !p.Fire() {
+			t.Fatalf("hit %d: prob-1 point did not fire", i)
+		}
+	}
+	if p.Fires() != 5 || p.Hits() != 5 {
+		t.Errorf("fires/hits = %d/%d, want 5/5", p.Fires(), p.Hits())
+	}
+}
+
+func TestPointAfterAndMax(t *testing.T) {
+	r := New(1)
+	p := r.Set("x", Spec{Mode: Error, After: 2, Max: 3})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.Fire() {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbabilisticFiringIsDeterministic(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		r := New(seed)
+		p := r.Set("x", Spec{Mode: Error, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := sequence(7), sequence(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("prob-0.5 point fired %d/%d times; want a mix", fires, len(a))
+	}
+	c := sequence(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFireKeyedIndependentOfArrivalOrder(t *testing.T) {
+	decide := func(seed int64, keys []uint64) map[uint64]bool {
+		r := New(seed)
+		p := r.Set("x", Spec{Mode: Panic, Prob: 0.3})
+		out := make(map[uint64]bool)
+		for _, k := range keys {
+			out[k] = p.FireKeyed(k)
+		}
+		return out
+	}
+	fwd := decide(3, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	rev := decide(3, []uint64{8, 7, 6, 5, 4, 3, 2, 1})
+	for k, v := range fwd {
+		if rev[k] != v {
+			t.Fatalf("key %d: decision depends on arrival order", k)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if p := r.Point("x"); p != nil {
+		t.Fatal("nil registry resolved a point")
+	}
+	var p *Point
+	if p.Fire() || p.FireKeyed(1) {
+		t.Fatal("nil point fired")
+	}
+	if p.Mode() != Off || p.Fires() != 0 {
+		t.Fatal("nil point reports non-zero state")
+	}
+}
+
+func TestEnableParsesDirectives(t *testing.T) {
+	r := New(1)
+	err := r.Enable("snapshot.sync=error:0.5, journal.write=torn@2#3 ,kernel.cycle=panic")
+	if err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	p := r.Point("journal.write")
+	if p == nil || p.spec.Mode != Torn || p.spec.After != 2 || p.spec.Max != 3 {
+		t.Fatalf("journal.write spec = %+v", p)
+	}
+	if got := r.Point("snapshot.sync").spec.Prob; got != 0.5 {
+		t.Errorf("snapshot.sync prob = %v, want 0.5", got)
+	}
+	if r.Point("kernel.cycle").spec.Mode != Panic {
+		t.Error("kernel.cycle not armed as panic")
+	}
+	s := r.String()
+	for _, want := range []string{"journal.write=torn@2#3", "kernel.cycle=panic", "snapshot.sync=error:0.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEnableRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"noequals", "x=frobnicate", "x=error:2", "x=error:nope", "x=error@x", "x=error#y"} {
+		if err := New(1).Enable(bad); err == nil {
+			t.Errorf("Enable(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	r := New(1)
+	r.Set("t.write", Spec{Mode: Torn, After: 1})
+
+	f, err := Create(r, "t", path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("first-write-ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("second-write-torn"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != len("second-write-torn")/2 {
+		t.Errorf("torn write landed %d bytes, want half", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if want := "first-write-ok" + "second-write-torn"[:n]; string(data) != want {
+		t.Errorf("file = %q, want %q", data, want)
+	}
+}
+
+func TestFileCorruptWriteFlipsOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	r := New(2)
+	r.Set("c.write", Spec{Mode: Corrupt})
+
+	payload := bytes.Repeat([]byte{0x00}, 64)
+	f, err := Create(r, "c", path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("corrupt write must report success, got %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	flipped := 0
+	for _, b := range data {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("%d bits flipped, want exactly 1", flipped)
+	}
+}
+
+func TestFileSyncAndRenameErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	r := New(3)
+	r.Set("s.sync", Spec{Mode: Error})
+	r.Set("s.rename", Spec{Mode: Error})
+
+	f, err := Create(r, "s", path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Errorf("Sync err = %v, want ErrInjected", err)
+	}
+	f.Close()
+	if err := Rename(r, "s", path, path+".2"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Rename err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("failed rename must leave the source intact: %v", err)
+	}
+}
+
+func TestSwapRestoresDefault(t *testing.T) {
+	r := New(9)
+	old := Swap(r)
+	if Active() != r {
+		t.Fatal("Swap did not install the registry")
+	}
+	Swap(old)
+	if Active() != old {
+		t.Fatal("Swap did not restore the previous registry")
+	}
+}

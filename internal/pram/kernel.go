@@ -67,14 +67,14 @@ type serialKernel struct{}
 func (serialKernel) close() {}
 
 func (serialKernel) attempt(m *Machine) int {
+	m.attemptRange(0, m.cfg.P)
+	// A panicked attempt publishes no intent; counting published
+	// intents keeps the serial and parallel alive counts identical.
 	alive := 0
 	for pid := 0; pid < m.cfg.P; pid++ {
-		m.intents[pid] = nil
-		if m.states[pid] != Alive || !m.runnable(pid) {
-			continue
+		if m.intents[pid] != nil {
+			alive++
 		}
-		m.attemptOne(pid)
-		alive++
 	}
 	return alive
 }

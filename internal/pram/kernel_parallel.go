@@ -121,13 +121,7 @@ func (p *workerPool) run() {
 				break
 			}
 			hi = min(hi, p.limit)
-			for pid := lo; pid < hi; pid++ {
-				m.intents[pid] = nil
-				if m.states[pid] != Alive || !m.runnable(pid) {
-					continue
-				}
-				m.attemptOne(pid)
-			}
+			m.attemptRange(lo, hi)
 		}
 		p.wg.Done()
 	}

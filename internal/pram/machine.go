@@ -6,6 +6,9 @@ import (
 	"reflect"
 	"runtime"
 	"slices"
+	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // LegalityMode selects how the machine handles an adversary decision that
@@ -75,6 +78,11 @@ type Config struct {
 	// goroutine, so the function is never called concurrently, under
 	// either kernel.
 	Scheduler func(tick, pid int) bool
+	// Faults, if non-nil, overrides the process-default fault-injection
+	// registry (faultinject.Active()) for this machine. The machine
+	// consults the kernel.cycle failpoint to inject worker panics; nil
+	// points cost one nil check per attempted cycle.
+	Faults *faultinject.Registry
 }
 
 // DefaultMaxTicks bounds runs whose Config does not set MaxTicks.
@@ -159,6 +167,19 @@ type Machine struct {
 	// phase with an indexed read in PID order.
 	failBuf   []FailPoint
 	failDirty bool
+
+	// fiCycle is the resolved kernel.cycle failpoint (nil when fault
+	// injection is off); cyclePanic holds the tick's pending recovered
+	// cycle panic (lowest PID wins), guarded by panicMu because parallel
+	// workers may panic concurrently.
+	fiCycle    *faultinject.Point
+	panicMu    sync.Mutex
+	cyclePanic *CyclePanicError
+
+	// violations records adversary liveness-rule breaches (capped at
+	// maxViolations records; violationCount is exact).
+	violations     []Violation
+	violationCount int64
 
 	closed bool
 }
@@ -278,6 +299,7 @@ func (m *Machine) Reset(cfg Config, alg Algorithm, adv Adversary) error {
 	m.ended = false
 	m.metrics = Metrics{N: cfg.N, P: p}
 	m.initDoneHint()
+	m.resetRobustness()
 	return nil
 }
 
@@ -463,6 +485,12 @@ func (m *Machine) Step() (bool, error) {
 	// pre-tick view, writes are buffered per processor.
 	m.resolveSchedule()
 	alive := m.kern.attempt(m)
+	if e := m.takeCyclePanic(); e != nil {
+		// A cycle panicked (naturally or injected); the attempt published
+		// no intent. Fail the run with the recovered panic rather than
+		// crashing the process or silently dropping the processor.
+		return false, m.fail(e)
+	}
 	if alive == 0 {
 		// No processor can complete a cycle; the adversary must restart
 		// someone. Give it the chance, then enforce liveness.
@@ -515,6 +543,7 @@ func (m *Machine) Step() (bool, error) {
 		}
 	}
 	if survivors == 0 {
+		m.recordViolation(ViolationKillAll)
 		if m.cfg.Legality == ErrorOnIllegal {
 			return false, m.fail(fmt.Errorf("%w at tick %d (adversary=%s)",
 				ErrIllegalAdversary, m.tick, m.adv.Name()))
@@ -715,6 +744,7 @@ func (m *Machine) deadTick() (bool, error) {
 		}
 	}
 	if !restarted {
+		m.recordViolation(ViolationNoRestart)
 		if m.cfg.Legality == ErrorOnIllegal {
 			return false, m.fail(fmt.Errorf("%w: no alive processors and no restart at tick %d",
 				ErrIllegalAdversary, m.tick))

@@ -1,6 +1,10 @@
 package pram
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"log"
+)
 
 // Runner executes many runs on one pooled Machine, so sweep drivers (the
 // experiment tables, bench.Points, benchmarks) stop reconstructing the
@@ -15,13 +19,26 @@ type Runner struct {
 	m *Machine
 
 	// CheckpointEvery, when positive together with a non-empty
-	// CheckpointPath, makes Run and Resume checkpoint the machine to
-	// CheckpointPath (crash-consistently, via SaveSnapshot's
-	// write-tmp-rename) every CheckpointEvery ticks, so a killed run can
-	// be resumed from the last checkpoint with Resume.
+	// CheckpointPath, makes runs checkpoint the machine to
+	// CheckpointPath (crash-consistently, via SaveSnapshotRotate's
+	// write-tmp-rename with one generation of history) every
+	// CheckpointEvery ticks, so a killed run can be resumed from the
+	// last loadable checkpoint with Resume or ResumeLatest.
 	CheckpointEvery int
 	// CheckpointPath is the checkpoint file location; see CheckpointEvery.
 	CheckpointPath string
+	// Log receives human-readable notices the Runner emits when it
+	// degrades gracefully — falling back to the previous checkpoint,
+	// flushing a final checkpoint on cancellation. Nil means log.Printf.
+	Log func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Run executes one complete run of alg against adv under cfg on the
@@ -29,11 +46,19 @@ type Runner struct {
 // configured (CheckpointEvery > 0 and CheckpointPath set) the run is
 // periodically snapshotted to CheckpointPath.
 func (r *Runner) Run(cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
+	return r.RunCtx(context.Background(), cfg, alg, adv)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is canceled the
+// run stops at the next tick boundary, flushes a final checkpoint (if
+// checkpointing is configured) so the interrupted run stays resumable,
+// and returns an error wrapping ctx.Err().
+func (r *Runner) RunCtx(ctx context.Context, cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
 	m, err := r.Machine(cfg, alg, adv)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return r.run(m)
+	return r.runCtx(ctx, m)
 }
 
 // Resume restores snap into a machine configured for cfg/alg/adv and
@@ -41,6 +66,11 @@ func (r *Runner) Run(cfg Config, alg Algorithm, adv Adversary) (Metrics, error) 
 // remainder of the run the snapshot was taken from; checkpointing, if
 // configured, continues from the restored tick.
 func (r *Runner) Resume(cfg Config, alg Algorithm, adv Adversary, snap *Snapshot) (Metrics, error) {
+	return r.ResumeCtx(context.Background(), cfg, alg, adv, snap)
+}
+
+// ResumeCtx is Resume with cooperative cancellation (see RunCtx).
+func (r *Runner) ResumeCtx(ctx context.Context, cfg Config, alg Algorithm, adv Adversary, snap *Snapshot) (Metrics, error) {
 	m, err := r.Machine(cfg, alg, adv)
 	if err != nil {
 		return Metrics{}, err
@@ -48,34 +78,80 @@ func (r *Runner) Resume(cfg Config, alg Algorithm, adv Adversary, snap *Snapshot
 	if err := m.RestoreSnapshot(snap); err != nil {
 		return Metrics{}, err
 	}
-	return r.run(m)
+	return r.runCtx(ctx, m)
 }
 
-// run drives m to completion, checkpointing when configured.
-func (r *Runner) run(m *Machine) (Metrics, error) {
-	if r.CheckpointEvery <= 0 || r.CheckpointPath == "" {
-		return m.Run()
+// ResumeLatest resumes from the newest loadable checkpoint at
+// CheckpointPath: the current generation if it loads, otherwise the
+// previous one kept by SaveSnapshotRotate — in which case the fallback
+// is logged, because the run re-executes the ticks between the two
+// checkpoints (correct, just slower).
+func (r *Runner) ResumeLatest(cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
+	return r.ResumeLatestCtx(context.Background(), cfg, alg, adv)
+}
+
+// ResumeLatestCtx is ResumeLatest with cooperative cancellation.
+func (r *Runner) ResumeLatestCtx(ctx context.Context, cfg Config, alg Algorithm, adv Adversary) (Metrics, error) {
+	if r.CheckpointPath == "" {
+		return Metrics{}, fmt.Errorf("pram: ResumeLatest requires CheckpointPath")
 	}
+	snap, loaded, err := LoadSnapshotFallback(r.CheckpointPath)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if loaded != r.CheckpointPath {
+		r.logf("pram: checkpoint %s unusable; resuming from previous checkpoint %s (tick %d)",
+			r.CheckpointPath, loaded, snap.Tick)
+	}
+	return r.ResumeCtx(ctx, cfg, alg, adv, snap)
+}
+
+// runCtx drives m to completion, checkpointing and honoring ctx.
+func (r *Runner) runCtx(ctx context.Context, m *Machine) (Metrics, error) {
+	if r.CheckpointEvery <= 0 || r.CheckpointPath == "" {
+		return m.RunCtx(ctx)
+	}
+	done := ctx.Done()
 	next := m.Tick() + r.CheckpointEvery
-	for {
-		done, err := m.Step()
+	for i := 0; ; i++ {
+		if done != nil && i&63 == 0 {
+			select {
+			case <-done:
+				// Flush a final checkpoint so the canceled run resumes
+				// from here rather than the last periodic checkpoint.
+				if err := r.checkpoint(m); err != nil {
+					r.logf("pram: final checkpoint on cancel failed: %v", err)
+				}
+				return m.Metrics(), fmt.Errorf("pram: run canceled at tick %d: %w", m.Tick(), ctx.Err())
+			default:
+			}
+		}
+		finished, err := m.Step()
 		if err != nil {
 			return m.Metrics(), err
 		}
-		if done {
+		if finished {
 			return m.Metrics(), nil
 		}
 		if m.Tick() >= next {
-			snap, err := m.Snapshot()
-			if err != nil {
-				return m.Metrics(), fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
-			}
-			if err := SaveSnapshot(r.CheckpointPath, snap); err != nil {
-				return m.Metrics(), fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
+			if err := r.checkpoint(m); err != nil {
+				return m.Metrics(), err
 			}
 			next = m.Tick() + r.CheckpointEvery
 		}
 	}
+}
+
+// checkpoint snapshots m and saves it to CheckpointPath with rotation.
+func (r *Runner) checkpoint(m *Machine) error {
+	snap, err := m.Snapshot()
+	if err != nil {
+		return fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
+	}
+	if err := SaveSnapshotRotate(r.CheckpointPath, snap); err != nil {
+		return fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
+	}
+	return nil
 }
 
 // Machine readies the pooled machine for a run of alg against adv under
@@ -96,6 +172,15 @@ func (r *Runner) Machine(cfg Config, alg Algorithm, adv Adversary) (*Machine, er
 		return nil, err
 	}
 	return r.m, nil
+}
+
+// Violations returns the adversary contract violations the pooled
+// machine recorded during its most recent run (nil before any run).
+func (r *Runner) Violations() []Violation {
+	if r.m == nil {
+		return nil
+	}
+	return r.m.Violations()
 }
 
 // Close releases the pooled machine's resources (its kernel worker pool,

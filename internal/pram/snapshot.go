@@ -194,6 +194,7 @@ func (m *Machine) RestoreSnapshot(s *Snapshot) error {
 	m.pending = m.pending[:0]
 	m.failDirty = true
 	m.initDoneHint()
+	m.resetRobustness()
 	if ak, ok := m.kern.(*autoKernel); ok {
 		ak.resetProbe()
 	}

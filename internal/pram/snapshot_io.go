@@ -10,6 +10,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // Snapshot stream format (all integers little-endian):
@@ -28,8 +30,19 @@ import (
 const SnapshotVersion = 1
 
 // ErrSnapshotFormat reports a corrupt, truncated, or unsupported
-// snapshot stream.
+// snapshot stream. The two sentinels below wrap it, so callers can keep
+// matching the umbrella error or distinguish the failure class.
 var ErrSnapshotFormat = errors.New("pram: invalid snapshot data")
+
+var (
+	// ErrSnapshotCorrupt reports a truncated, checksum-failing, or
+	// undecodable snapshot — a torn or damaged file. Callers should fall
+	// back to the previous checkpoint (see LoadSnapshotFallback).
+	ErrSnapshotCorrupt = fmt.Errorf("%w: corrupt or truncated", ErrSnapshotFormat)
+	// ErrSnapshotVersion reports a magic or version mismatch — a file
+	// that is not a snapshot this build can read at all.
+	ErrSnapshotVersion = fmt.Errorf("%w: unsupported format", ErrSnapshotFormat)
+)
 
 var (
 	snapshotMagic = [8]byte{'P', 'R', 'A', 'M', 'S', 'N', 'A', 'P'}
@@ -84,28 +97,28 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var header [20]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, fmt.Errorf("%w: header: %v", ErrSnapshotFormat, err)
+		return nil, fmt.Errorf("%w: header: %v", ErrSnapshotCorrupt, err)
 	}
 	if !bytes.Equal(header[:8], snapshotMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, header[:8])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotVersion, header[:8])
 	}
 	if v := binary.LittleEndian.Uint32(header[8:12]); v != SnapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrSnapshotFormat, v, SnapshotVersion)
+		return nil, fmt.Errorf("%w: version %d (have %d)", ErrSnapshotVersion, v, SnapshotVersion)
 	}
 	length := binary.LittleEndian.Uint64(header[12:20])
 	if length > math.MaxInt32 {
-		return nil, fmt.Errorf("%w: implausible payload length %d", ErrSnapshotFormat, length)
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrSnapshotCorrupt, length)
 	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotFormat, err)
+	payload, err := readExact(r, length)
+	if err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotCorrupt, err)
 	}
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: checksum: %v", ErrSnapshotFormat, err)
+		return nil, fmt.Errorf("%w: checksum: %v", ErrSnapshotCorrupt, err)
 	}
 	if got, want := crc32.Checksum(payload, snapshotCRC), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrSnapshotFormat, got, want)
+		return nil, fmt.Errorf("%w: checksum mismatch (got %#x, want %#x)", ErrSnapshotCorrupt, got, want)
 	}
 
 	d := snapDecoder{buf: payload}
@@ -139,18 +152,42 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, d.err
 	}
 	if len(d.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrSnapshotFormat, len(d.buf))
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrSnapshotCorrupt, len(d.buf))
 	}
 	return s, nil
+}
+
+// readExact reads exactly n bytes, growing the buffer in bounded chunks
+// so a corrupt length field costs only as much memory as the stream
+// actually holds, not what the header claims.
+func readExact(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > chunk {
+			step = chunk
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // SaveSnapshot writes s to path crash-consistently: the snapshot is
 // written to a temporary file in the same directory, synced, and then
 // renamed over path, so a crash mid-checkpoint leaves the previous
-// checkpoint intact rather than a torn file.
+// checkpoint intact rather than a torn file. Every file operation goes
+// through the process-default fault-injection registry under the
+// "snapshot" scope (snapshot.create/.write/.sync/.rename), which is how
+// the crash-consistency claim is actually exercised in tests.
 func SaveSnapshot(path string, s *Snapshot) error {
+	reg := faultinject.Active()
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := faultinject.Create(reg, "snapshot", tmp)
 	if err != nil {
 		return err
 	}
@@ -174,7 +211,27 @@ func SaveSnapshot(path string, s *Snapshot) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return faultinject.Rename(reg, "snapshot", tmp, path)
+}
+
+// PrevSnapshotSuffix is appended to a checkpoint path to name the
+// previous-generation checkpoint kept by SaveSnapshotRotate.
+const PrevSnapshotSuffix = ".prev"
+
+// SaveSnapshotRotate saves like SaveSnapshot, but first rotates any
+// existing checkpoint at path to path+PrevSnapshotSuffix. Together with
+// LoadSnapshotFallback this gives checkpointing one level of history: if
+// the newest checkpoint is lost to a torn write or corruption, the
+// previous one still resumes the run (further back in time, never
+// wrong).
+func SaveSnapshotRotate(path string, s *Snapshot) error {
+	reg := faultinject.Active()
+	if _, err := os.Stat(path); err == nil {
+		if err := faultinject.Rename(reg, "snapshot", path, path+PrevSnapshotSuffix); err != nil {
+			return fmt.Errorf("pram: rotate checkpoint: %w", err)
+		}
+	}
+	return SaveSnapshot(path, s)
 }
 
 // LoadSnapshot reads a snapshot saved by SaveSnapshot.
@@ -185,6 +242,24 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return ReadSnapshot(bufio.NewReader(f))
+}
+
+// LoadSnapshotFallback loads the checkpoint at path, falling back to
+// path+PrevSnapshotSuffix when the primary is missing, truncated, or
+// corrupt. It returns the snapshot together with the path it actually
+// loaded, so callers can log the degradation; the error reports both
+// failures when neither generation is usable.
+func LoadSnapshotFallback(path string) (*Snapshot, string, error) {
+	snap, err := LoadSnapshot(path)
+	if err == nil {
+		return snap, path, nil
+	}
+	prev := path + PrevSnapshotSuffix
+	snapPrev, errPrev := LoadSnapshot(prev)
+	if errPrev != nil {
+		return nil, "", fmt.Errorf("pram: load checkpoint %s: %w (fallback %s: %v)", path, err, prev, errPrev)
+	}
+	return snapPrev, prev, nil
 }
 
 // snapEncoder accumulates little-endian primitives, capturing the first
@@ -246,7 +321,7 @@ func (d *snapDecoder) u64() uint64 {
 		return 0
 	}
 	if len(d.buf) < 8 {
-		d.err = fmt.Errorf("%w: truncated payload", ErrSnapshotFormat)
+		d.err = fmt.Errorf("%w: truncated payload", ErrSnapshotCorrupt)
 		return 0
 	}
 	v := binary.LittleEndian.Uint64(d.buf[:8])
@@ -264,7 +339,7 @@ func (d *snapDecoder) count() int {
 		return 0
 	}
 	if n > uint64(len(d.buf)) {
-		d.err = fmt.Errorf("%w: length %d exceeds remaining payload", ErrSnapshotFormat, n)
+		d.err = fmt.Errorf("%w: length %d exceeds remaining payload", ErrSnapshotCorrupt, n)
 		return 0
 	}
 	return int(n)
@@ -286,7 +361,7 @@ func (d *snapDecoder) words() []Word {
 		return nil
 	}
 	if n*8 > uint64(len(d.buf)) {
-		d.err = fmt.Errorf("%w: %d words exceed remaining payload", ErrSnapshotFormat, n)
+		d.err = fmt.Errorf("%w: %d words exceed remaining payload", ErrSnapshotCorrupt, n)
 		return nil
 	}
 	if n == 0 {
