@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_baseline.json
 # Benchtime for the quick bench-compare pass inside `make check`.
 BENCHTIME ?= 100x
 
-.PHONY: all check build vet test test-short race race-equiv bench bench-json bench-compare bench-check fuzz fuzz-short chaos experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race race-equiv obs-check bench bench-json bench-compare bench-check fuzz fuzz-short chaos experiments experiments-full cover clean
 
 all: check
 
@@ -14,7 +14,7 @@ all: check
 # full -race sweep, then runs the robustness gates (short fuzz pass over
 # the decoders, randomized chaos resume grid) and ends with a warn-only
 # benchmark comparison.
-check: build vet test race-equiv race fuzz-short chaos bench-check
+check: build vet test race-equiv obs-check race fuzz-short chaos bench-check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,15 @@ race:
 # state capture are the places a data race could hide.
 race-equiv:
 	$(GO) test -race -run 'TestKernelEquivalence|TestPooledRun|TestDoneHint|TestResumeEquivalence' .
+
+# obs-check runs the observability layer's concurrency-sensitive tests
+# under the race detector — the metrics registry, the shared event sink,
+# and the sweep-progress hooks all take concurrent writers — plus go vet
+# on the packages the layer touches.
+obs-check:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestJSONL|TestProcTracker|TestEnableObs|TestObsCounts|TestWatchdog' ./internal/pram/ ./internal/bench/
+	$(GO) vet ./internal/obs/ ./internal/pram/ ./internal/bench/ ./cmd/writeall/ ./cmd/experiments/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -38,6 +38,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/pram"
 )
 
 func main() {
@@ -59,6 +61,8 @@ func run(ctx context.Context, args []string) error {
 		ckptDir  = fs.String("checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
 		resume   = fs.Bool("resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
 		deadline = fs.Duration("deadline", 0, "wall-clock budget per sweep point; overrunning points degrade to error rows (0 disables)")
+		debugAdr = fs.String("debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the sweep (a bare :port binds localhost; empty disables)")
+		progress = fs.Duration("progress", 0, "print a live progress line (points done, degraded, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +72,25 @@ func run(ctx context.Context, args []string) error {
 	}
 	bench.SetParallelism(*parallel)
 	bench.SetPointDeadline(*deadline)
+
+	if *debugAdr != "" || *progress > 0 {
+		reg := obs.Default()
+		pram.EnableObs(reg)
+		bench.EnableObs(reg)
+		obs.CollectFaultInject(reg)
+		if *debugAdr != "" {
+			srv, err := obs.Serve(*debugAdr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
+		}
+		if *progress > 0 {
+			p := obs.StartProgress(reg, os.Stderr, *progress)
+			defer p.Stop()
+		}
+	}
 
 	scale := bench.Quick
 	if *full {
@@ -137,6 +160,7 @@ func run(ctx context.Context, args []string) error {
 		}
 		start := time.Now()
 		tables := e.Run(ctx, scale)
+		bench.ExperimentDone()
 		interrupted := ctx.Err() != nil
 		for i := range tables {
 			degraded += len(tables[i].Errors)

@@ -106,3 +106,25 @@ func TestRunResumeRequiresCheckpointDir(t *testing.T) {
 		t.Errorf("err = %v, want -checkpoint-dir requirement", err)
 	}
 }
+
+func TestRunWithDebugServerAndProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweeps are slow")
+	}
+	// E1 is the fastest experiment; this exercises the full
+	// observability path: bench + pram metrics registered, debug server
+	// on an ephemeral localhost port, progress line, experiment counter.
+	err := run(context.Background(), []string{
+		"-run", "E1", "-debug-addr", ":0", "-progress", "10ms",
+	})
+	if err != nil {
+		t.Fatalf("run with -debug-addr/-progress: %v", err)
+	}
+}
+
+func TestRunRejectsUnusableDebugAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-run", "E1", "-debug-addr", "127.0.0.1:notaport"})
+	if err == nil {
+		t.Fatal("want error for an unusable -debug-addr")
+	}
+}

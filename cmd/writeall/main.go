@@ -24,6 +24,7 @@ import (
 
 	failstop "repro"
 	"repro/internal/adversary"
+	"repro/internal/obs"
 	"repro/internal/pram"
 )
 
@@ -51,6 +52,9 @@ func run(ctx context.Context, args []string) error {
 		csvPath  = fs.String("csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
 		traceOut = fs.String("trace", "", "stream the run's event trace (cycle, tick, and run events) as JSON lines to this file")
 		traceTk  = fs.Bool("trace-ticks", false, "with -trace, restrict the stream to tick and run events")
+		traceNth = fs.Int("trace-sample", 1, "with -trace, keep only every Nth cycle event (tick and run events are always kept)")
+		debugAdr = fs.String("debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the run (a bare :port binds localhost; empty disables)")
+		progress = fs.Duration("progress", 0, "print a live progress line (tick, done %, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
 		parallel = fs.Int("parallel", 0, "run the parallel tick kernel with this many workers (0 = serial, -1 = GOMAXPROCS)")
 		record   = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
 		replay   = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
@@ -63,6 +67,27 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *snapshot != "" && *snapEvry < 1 {
 		return fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvry)
+	}
+	if *traceNth < 1 {
+		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceNth)
+	}
+
+	if *debugAdr != "" || *progress > 0 {
+		reg := obs.Default()
+		pram.EnableObs(reg)
+		obs.CollectFaultInject(reg)
+		if *debugAdr != "" {
+			srv, err := obs.Serve(*debugAdr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
+		}
+		if *progress > 0 {
+			p := obs.StartProgress(reg, os.Stderr, *progress)
+			defer p.Stop()
+		}
 	}
 
 	var snap *pram.Snapshot
@@ -115,6 +140,7 @@ func run(ctx context.Context, args []string) error {
 		defer buffered.Flush()
 		jsonl = pram.NewJSONL(buffered)
 		jsonl.Ticks = *traceTk
+		jsonl.Sample = *traceNth
 		sinks = append(sinks, jsonl)
 	}
 	switch len(sinks) {

@@ -133,3 +133,66 @@ func TestRunRejectsBadSnapshotInterval(t *testing.T) {
 		t.Fatal("want error for -snapshot-every 0")
 	}
 }
+
+func TestRunRejectsBadTraceSample(t *testing.T) {
+	if err := run(context.Background(), []string{"-trace-sample", "0", "-n", "16"}); err == nil {
+		t.Fatal("want error for -trace-sample 0")
+	}
+}
+
+func TestRunTraceSampleThinsCycleEvents(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	thin := filepath.Join(dir, "thin.jsonl")
+	args := []string{"-alg", "X", "-adv", "random", "-seed", "3", "-n", "64"}
+	if err := run(context.Background(), append(args, "-trace", full)); err != nil {
+		t.Fatalf("full trace run: %v", err)
+	}
+	if err := run(context.Background(), append(args, "-trace", thin, "-trace-sample", "4")); err != nil {
+		t.Fatalf("sampled trace run: %v", err)
+	}
+	count := func(path string) (cycles, runs int) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if strings.Contains(line, `"ev":"cycle"`) {
+				cycles++
+			}
+			if strings.Contains(line, `"ev":"run"`) {
+				runs++
+			}
+		}
+		return cycles, runs
+	}
+	fullCycles, fullRuns := count(full)
+	thinCycles, thinRuns := count(thin)
+	if fullRuns != 1 || thinRuns != 1 {
+		t.Errorf("run events = %d/%d, want 1 in both traces (never sampled)", fullRuns, thinRuns)
+	}
+	want := (fullCycles + 3) / 4
+	if thinCycles != want {
+		t.Errorf("sampled trace kept %d of %d cycle events, want %d (every 4th)", thinCycles, fullCycles, want)
+	}
+}
+
+func TestRunWithDebugServerAndProgress(t *testing.T) {
+	// The run enables the whole observability path end to end: metrics
+	// registered, debug server bound to an ephemeral localhost port,
+	// progress reporter emitting, all torn down on exit.
+	err := run(context.Background(), []string{
+		"-alg", "X", "-adv", "random", "-n", "64",
+		"-debug-addr", ":0", "-progress", "10ms",
+	})
+	if err != nil {
+		t.Fatalf("run with -debug-addr/-progress: %v", err)
+	}
+}
+
+func TestRunRejectsUnusableDebugAddr(t *testing.T) {
+	err := run(context.Background(), []string{"-n", "16", "-debug-addr", "127.0.0.1:notaport"})
+	if err == nil {
+		t.Fatal("want error for an unusable -debug-addr")
+	}
+}

@@ -53,6 +53,7 @@ type Table struct {
 // fail records a degraded point: the sweep continues with the point's
 // row absent and the failure reported as data.
 func (t *Table) fail(point string, err error) {
+	obsDegraded()
 	t.Errors = append(t.Errors, fmt.Sprintf("%s: %v", point, err))
 }
 
@@ -219,7 +220,10 @@ func runWA(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Ad
 	if d <= 0 {
 		r := runners.Get().(*pram.Runner)
 		defer runners.Put(r)
-		return r.RunCtx(ctx, cfg, alg, adv)
+		start := obsPointStart()
+		m, err := r.RunCtx(ctx, cfg, alg, adv)
+		obsPointDone(start, err)
+		return m, err
 	}
 
 	// Watchdog mode: run the point on its own goroutine under a
@@ -235,16 +239,21 @@ func runWA(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Ad
 	defer cancel()
 	r := runners.Get().(*pram.Runner)
 	ch := make(chan outcome, 1)
+	start := obsPointStart()
 	go func() {
 		m, err := r.RunCtx(tctx, cfg, alg, adv)
 		ch <- outcome{m, err}
 	}()
 	grace := d/4 + time.Second
+	timer := time.NewTimer(d + grace)
+	defer timer.Stop()
 	select {
 	case out := <-ch:
 		runners.Put(r)
+		obsPointDone(start, out.err)
 		return out.m, out.err
-	case <-time.After(d + grace):
+	case <-timer.C:
+		obsPointAbandoned()
 		return pram.Metrics{}, fmt.Errorf("bench: point (%s vs %s, N=%d P=%d) hung past deadline %v; abandoned",
 			alg.Name(), adv.Name(), cfg.N, cfg.P, d)
 	}
@@ -257,6 +266,15 @@ var runners = sync.Pool{New: func() any { return new(pram.Runner) }}
 
 func log2(n int) float64 { return math.Log2(float64(n)) }
 
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+// f2 renders a derived ratio with two decimals. Non-finite values — a
+// NaN slope from too few usable points, a ratio over a degraded point's
+// zero metrics — render as an em-dash rather than leaking "NaN" into
+// tables.
+func f2(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "—"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
 
 func itoa(v int64) string { return fmt.Sprintf("%d", v) }

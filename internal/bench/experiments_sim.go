@@ -19,11 +19,14 @@ func runSim(ctx context.Context, p core.Program, realP int, adv pram.Adversary, 
 	if err := ctx.Err(); err != nil {
 		return pram.Metrics{}, fmt.Errorf("bench: point canceled: %w", err)
 	}
+	start := obsPointStart()
 	m, err := core.NewMachine(p, realP, adv, cfg)
 	if err != nil {
+		obsPointDone(start, err)
 		return pram.Metrics{}, fmt.Errorf("bench: NewMachine(%s): %w", p.Name(), err)
 	}
 	got, err := m.Run()
+	obsPointDone(start, err)
 	if err != nil {
 		return got, fmt.Errorf("bench: Run(%s under %s): %w", p.Name(), adv.Name(), err)
 	}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// benchObs holds the sweep-progress hooks of the bench layer: how many
+// points have completed, how many degraded to error rows, how many the
+// wall-clock watchdog canceled or abandoned, and how long points take.
+// Nil until EnableObs installs one; all hook sites are nil-checked so a
+// sweep without observability pays one atomic load per point.
+type benchObs struct {
+	points      *obs.Counter
+	degraded    *obs.Counter
+	deadline    *obs.Counter
+	inflight    *obs.Gauge
+	pointNs     *obs.Histogram
+	experiments *obs.Counter
+}
+
+var bObs atomic.Pointer[benchObs]
+
+// EnableObs registers the bench layer's sweep-progress metrics in r and
+// turns the hooks on, process-wide. Idempotent per registry; see
+// pram.EnableObs for the machine-level counters that accompany these.
+func EnableObs(r *obs.Registry) {
+	bObs.Store(&benchObs{
+		points:   r.Counter(obs.MetricPoints, "sweep points completed, successfully or not"),
+		degraded: r.Counter(obs.MetricPointsDegraded, "sweep points degraded to Table.Errors rows"),
+		deadline: r.Counter(obs.MetricPointsDeadline, "sweep points canceled or abandoned by the wall-clock watchdog"),
+		inflight: r.Gauge(obs.MetricPointsInflight, "sweep points currently executing"),
+		pointNs: r.Histogram(obs.MetricPointNs, "per-point wall time in nanoseconds",
+			[]int64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11}),
+		experiments: r.Counter(obs.MetricExperiments, "experiment tables completed"),
+	})
+}
+
+// obsPointStart marks a sweep point in flight and returns its start
+// time (zero when observability is off).
+func obsPointStart() time.Time {
+	h := bObs.Load()
+	if h == nil {
+		return time.Time{}
+	}
+	h.inflight.Add(1)
+	return time.Now()
+}
+
+// obsPointDone completes the accounting obsPointStart opened.
+func obsPointDone(start time.Time, err error) {
+	h := bObs.Load()
+	if h == nil {
+		return
+	}
+	h.inflight.Add(-1)
+	h.points.Inc()
+	if !start.IsZero() {
+		h.pointNs.Observe(int64(time.Since(start)))
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		h.deadline.Inc()
+	}
+}
+
+// obsPointAbandoned counts a watchdog abandonment (the hung-point path,
+// where the point's goroutine never reports back).
+func obsPointAbandoned() {
+	h := bObs.Load()
+	if h == nil {
+		return
+	}
+	h.inflight.Add(-1)
+	h.points.Inc()
+	h.deadline.Inc()
+}
+
+// obsDegraded counts one point degraded to a Table.Errors row.
+func obsDegraded() {
+	if h := bObs.Load(); h != nil {
+		h.degraded.Inc()
+	}
+}
+
+// ExperimentDone counts one completed experiment, for the drivers that
+// iterate the registry (cmd/experiments). No-op when observability is
+// off.
+func ExperimentDone() {
+	if h := bObs.Load(); h != nil {
+		h.experiments.Inc()
+	}
+}

@@ -260,6 +260,24 @@ func (r *Registry) Point(name string) *Point {
 // Fires returns the fire count of the named point (0 when unarmed).
 func (r *Registry) Fires(name string) uint64 { return r.Point(name).Fires() }
 
+// Points returns the armed failpoints sorted by name, for observability
+// surfaces that enumerate live fire counts (internal/obs).
+func (r *Registry) Points() []*Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Point, 0, len(r.pts))
+	for _, p := range r.pts {
+		if p.spec.Mode != Off {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 // Enable parses a comma-separated directive list — the PRAM_FAULTS
 // grammar, name=mode[:prob][@after][#max] — and arms each point.
 func (r *Registry) Enable(directives string) error {

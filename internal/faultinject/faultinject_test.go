@@ -230,3 +230,22 @@ func TestSwapRestoresDefault(t *testing.T) {
 		t.Fatal("Swap did not restore the previous registry")
 	}
 }
+
+func TestPointsEnumeratesArmedSorted(t *testing.T) {
+	r := New(1)
+	r.Set("b.point", Spec{Mode: Error})
+	r.Set("a.point", Spec{Mode: Torn})
+	r.Set("off.point", Spec{Mode: Off})
+	pts := r.Points()
+	if len(pts) != 2 || pts[0].Name() != "a.point" || pts[1].Name() != "b.point" {
+		names := make([]string, len(pts))
+		for i, p := range pts {
+			names[i] = p.Name()
+		}
+		t.Errorf("Points() = %v, want [a.point b.point] (armed only, sorted)", names)
+	}
+	var nilReg *Registry
+	if got := nilReg.Points(); got != nil {
+		t.Errorf("nil registry Points() = %v, want nil", got)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
+
+// CollectFaultInject registers a collector that exposes every armed
+// fault-injection point's hit and fire counters, one sample pair per
+// point:
+//
+//	faultinject_hits_total{point="snapshot.write"}  12
+//	faultinject_fires_total{point="snapshot.write"} 3
+//
+// The process-default faultinject registry is re-read on every
+// snapshot, so a registry swapped in later (tests, chaos runs) is
+// picked up without re-wiring.
+func CollectFaultInject(reg *Registry) {
+	reg.mu.Lock()
+	if reg.fiAttached {
+		reg.mu.Unlock()
+		return
+	}
+	reg.fiAttached = true
+	reg.mu.Unlock()
+	reg.Collect(func(emit func(Sample)) {
+		fr := faultinject.Active()
+		if fr == nil {
+			return
+		}
+		for _, p := range fr.Points() {
+			emit(Sample{
+				Name:  fmt.Sprintf("%s{point=%q}", MetricFaultHitsPrefix, p.Name()),
+				Kind:  KindCounter,
+				Value: float64(p.Hits()),
+			})
+			emit(Sample{
+				Name:  fmt.Sprintf("%s{point=%q}", MetricFaultFiresPrefix, p.Name()),
+				Kind:  KindCounter,
+				Value: float64(p.Fires()),
+			})
+		}
+	})
+}

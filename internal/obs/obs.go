@@ -1,0 +1,368 @@
+// Package obs is the harness's live observability layer: a
+// zero-allocation runtime metrics registry plus the surfaces that expose
+// it while a run is in flight — an opt-in debug HTTP server (/metrics,
+// expvar, pprof; see server.go) and a rate-limited terminal progress
+// reporter (progress.go).
+//
+// The registry holds three metric kinds, all updated with atomic
+// operations and all safe for concurrent use:
+//
+//   - Counter: a monotonically increasing int64 (events since process
+//     start).
+//   - Gauge: an int64 that can move both ways (current tick, cells
+//     remaining). GaugeFunc computes a float64 at read time instead,
+//     for derived values like checkpoint age.
+//   - Histogram: a fixed-bucket int64 distribution (durations, sizes).
+//     Buckets are chosen at registration and never reallocated.
+//
+// Instrumented packages keep *Counter/*Gauge/*Histogram fields that are
+// nil until observability is enabled: every mutating method is nil-safe,
+// so a disabled metric costs one branch and the hot path stays
+// allocation-free either way. Reading is snapshot-on-read: Snapshot
+// copies every value once, so scrapes never block or skew writers.
+//
+// Metric names are part of the harness's interface: they are stable,
+// documented in DESIGN.md §11, and follow the "subsystem_quantity_unit"
+// convention with a _total suffix on counters.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil *Counter is a valid disabled metric (all methods no-op).
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n. It is a no-op on a nil receiver and
+// for n <= 0 (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 measurement. The zero value is ready;
+// a nil *Gauge is a valid disabled metric.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores the gauge value. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (either direction). No-op on nil.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution of int64 observations.
+// Bounds are inclusive upper bounds in ascending order; one implicit
+// overflow bucket catches everything beyond the last bound. The zero
+// value is NOT usable — histograms come from Registry.Histogram, which
+// fixes the bucket layout once so Observe never allocates. A nil
+// *Histogram is a valid disabled metric.
+type Histogram struct {
+	name, help string
+	bounds     []int64
+	counts     []atomic.Int64 // len(bounds)+1; last is overflow
+	sum        atomic.Int64
+	count      atomic.Int64
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Kind classifies a snapshot sample.
+type Kind string
+
+// The sample kinds a Snapshot can carry.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations <= Le (math.MaxInt64 for the overflow bucket).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Sample is one metric reading in a registry snapshot.
+type Sample struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Kind Kind   `json:"kind"`
+	// Value holds the counter/gauge reading; for histograms it is the
+	// observation count.
+	Value float64 `json:"value"`
+	// Buckets, Sum are histogram-only.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+}
+
+// Collector emits dynamically named samples at snapshot time (e.g. one
+// per armed fault-injection point). Collectors run under the registry
+// lock and must not call back into the registry.
+type Collector func(emit func(Sample))
+
+// Registry is a set of named metrics with snapshot-on-read export. All
+// methods are safe for concurrent use. Registration is idempotent by
+// name: asking twice for the same counter returns the same *Counter, so
+// process-wide enable paths can run more than once (flags, tests).
+type Registry struct {
+	mu         sync.Mutex
+	order      []string
+	metrics    map[string]any
+	collectors []Collector
+	// fiAttached marks that CollectFaultInject already registered its
+	// collector here, so repeated enable paths stay idempotent.
+	fiAttached bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// defaultRegistry is the process-wide registry the CLIs enable.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns the existing metric under name, registering it via mk
+// when absent. It panics if name is already registered with a different
+// kind — a programming error worth failing loudly on.
+func lookup[T any](r *Registry, name string, mk func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	r.order = append(r.order, name)
+	return t
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{name: name, help: help} })
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{name: name, help: help} })
+}
+
+// gaugeFunc wraps a read-time computed gauge.
+type gaugeFunc struct {
+	name, help string
+	f          func() float64
+}
+
+// GaugeFunc registers a gauge whose value is computed by f at snapshot
+// time. f must be safe for concurrent use. Re-registering the same name
+// keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	lookup(r, name, func() *gaugeFunc { return &gaugeFunc{name: name, help: help, f: f} })
+}
+
+// Histogram registers (or returns the existing) histogram under name
+// with the given ascending inclusive upper bounds. The bounds slice is
+// copied.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	return lookup(r, name, func() *Histogram {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+			}
+		}
+		h := &Histogram{name: name, help: help, bounds: b}
+		h.counts = make([]atomic.Int64, len(b)+1)
+		return h
+	})
+}
+
+// Collect registers a collector that contributes samples to every
+// snapshot after the statically registered metrics.
+func (r *Registry) Collect(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Snapshot copies every metric into a consistent-enough, caller-owned
+// sample list: registered metrics in registration order, then collector
+// samples. Each value is read once atomically; a snapshot never blocks
+// writers.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.order)+8)
+	for _, name := range r.order {
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			out = append(out, Sample{Name: m.name, Help: m.help, Kind: KindCounter, Value: float64(m.Value())})
+		case *Gauge:
+			out = append(out, Sample{Name: m.name, Help: m.help, Kind: KindGauge, Value: float64(m.Value())})
+		case *gaugeFunc:
+			out = append(out, Sample{Name: m.name, Help: m.help, Kind: KindGauge, Value: m.f()})
+		case *Histogram:
+			s := Sample{Name: m.name, Help: m.help, Kind: KindHistogram, Sum: m.sum.Load()}
+			cum := int64(0)
+			s.Buckets = make([]Bucket, len(m.counts))
+			for i := range m.counts {
+				cum += m.counts[i].Load()
+				le := int64(math.MaxInt64)
+				if i < len(m.bounds) {
+					le = m.bounds[i]
+				}
+				s.Buckets[i] = Bucket{Le: le, Count: cum}
+			}
+			s.Value = float64(m.count.Load())
+			out = append(out, s)
+		}
+	}
+	for _, c := range r.collectors {
+		c(func(s Sample) { out = append(out, s) })
+	}
+	return out
+}
+
+// Value returns the current reading of the named metric in the most
+// recent snapshot sense: counters and gauges report their value,
+// histograms their observation count. Missing metrics report 0, false.
+// It is a convenience for the progress reporter and tests; scraping
+// should use Snapshot.
+func (r *Registry) Value(name string) (float64, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// style: # HELP / # TYPE comment lines followed by "name value" lines;
+// histogram buckets as name_bucket{le="..."} cumulative counts plus
+// name_sum and name_count.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if b.Le != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %s\n", s.Name, s.Sum, s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as one JSON document: a list of
+// samples under "metrics". NaN and infinite gauge-func values are
+// rendered as null-safe zeros so the document always parses.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	for i := range snap {
+		if math.IsNaN(snap[i].Value) || math.IsInf(snap[i].Value, 0) {
+			snap[i].Value = 0
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []Sample `json:"metrics"`
+	}{snap})
+}
+
+// formatFloat renders integral values without a fraction so counter
+// readings stay grep-able, and everything else with full precision.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

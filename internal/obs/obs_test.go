@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics must read 0")
+	}
+}
+
+func TestRegistrationIsIdempotentByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "")
+	b := r.Counter("same_total", "")
+	if a != b {
+		t.Error("re-registering a counter must return the same instance")
+	}
+	h1 := r.Histogram("h", "", []int64{1, 2})
+	h2 := r.Histogram("h", "", []int64{5, 6, 7})
+	if h1 != h2 {
+		t.Error("re-registering a histogram must return the same instance")
+	}
+	if len(h1.bounds) != 2 {
+		t.Error("re-registration must keep the first bucket layout")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge under a counter's name must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds must panic")
+		}
+	}()
+	r.Histogram("bad", "", []int64{10, 10})
+}
+
+func TestHistogramBucketsAndOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	s := snap[0]
+	if s.Kind != KindHistogram || s.Value != 5 || s.Sum != 1+10+11+100+5000 {
+		t.Errorf("histogram sample = %+v", s)
+	}
+	want := []Bucket{
+		{Le: 10, Count: 2},
+		{Le: 100, Count: 4},
+		{Le: math.MaxInt64, Count: 5}, // cumulative, overflow last
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket[%d] = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestSnapshotPreservesRegistrationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "")
+	r.Gauge("a", "")
+	r.Counter("c_total", "")
+	var names []string
+	for _, s := range r.Snapshot() {
+		names = append(names, s.Name)
+	}
+	if got := strings.Join(names, ","); got != "b_total,a,c_total" {
+		t.Errorf("order = %s", got)
+	}
+}
+
+func TestGaugeFuncAndValue(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("derived", "", func() float64 { return 2.5 })
+	if v, ok := r.Value("derived"); !ok || v != 2.5 {
+		t.Errorf("Value(derived) = %v, %v", v, ok)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Error("Value must report absence")
+	}
+}
+
+func TestCollectorSamplesFollowStaticMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("static_total", "").Inc()
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: `dyn_total{point="p"}`, Kind: KindCounter, Value: 3})
+	})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[1].Name != `dyn_total{point="p"}` {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "runs so far").Add(3)
+	h := r.Histogram("dur_ns", "", []int64{100})
+	h.Observe(50)
+	h.Observe(500)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP runs_total runs so far\n",
+		"# TYPE runs_total counter\n",
+		"runs_total 3\n",
+		"# TYPE dur_ns histogram\n",
+		`dur_ns_bucket{le="100"} 1` + "\n",
+		`dur_ns_bucket{le="+Inf"} 2` + "\n",
+		"dur_ns_sum 550\n",
+		"dur_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONParsesAndSanitizesNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "").Inc()
+	r.GaugeFunc("bad", "", func() float64 { return math.NaN() })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 2 || doc.Metrics[0].Value != 1 || doc.Metrics[1].Value != 0 {
+		t.Errorf("metrics = %+v", doc.Metrics)
+	}
+}
+
+// TestHotPathIsAllocationFree is the registry half of the PR's
+// allocation budget: every mutating call on an enabled or disabled
+// metric must be free of heap allocations.
+func TestHotPathIsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []int64{10, 100, 1000})
+	var nilC *Counter
+	cases := map[string]func(){
+		"counter":     func() { c.Add(2) },
+		"gauge":       func() { g.Set(7) },
+		"histogram":   func() { h.Observe(55) },
+		"nil-counter": func() { nilC.Inc() },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("h", "", []int64{8, 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i % 100))
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4000 {
+		t.Errorf("counter = %d, want 4000", got)
+	}
+}
+
+func TestCollectFaultInject(t *testing.T) {
+	old := faultinject.Swap(faultinject.New(1))
+	defer faultinject.Swap(old)
+	fr := faultinject.Active()
+	p := fr.Set("snapshot.write", faultinject.Spec{Mode: faultinject.Error, Prob: 1})
+	p.Fire()
+	p.Fire()
+
+	r := NewRegistry()
+	CollectFaultInject(r)
+	CollectFaultInject(r) // idempotent: must not duplicate samples
+
+	count := 0
+	for _, s := range r.Snapshot() {
+		switch s.Name {
+		case `faultinject_hits_total{point="snapshot.write"}`:
+			count++
+			if s.Value != 2 {
+				t.Errorf("hits = %v, want 2", s.Value)
+			}
+		case `faultinject_fires_total{point="snapshot.write"}`:
+			count++
+			if s.Value != 2 {
+				t.Errorf("fires = %v, want 2", s.Value)
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("got %d faultinject samples, want exactly 2 (hits+fires, no duplicates)", count)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress periodically renders a one-line liveness summary of a
+// registry to a writer, so a multi-minute sweep shows a heartbeat
+// instead of a silent cursor. The line is assembled from the stable
+// metric names (names.go); segments whose metrics are absent or zero
+// are omitted, so the same reporter serves both CLIs:
+//
+//	obs: tick=81920 done=93.2% ticks/s=102400 S=1638400 |F|=12 points=9 (1 degraded)
+//
+// Output is rate-limited to one line per interval and written with a
+// single Write call per line (safe to interleave with other stderr
+// traffic). Start it with StartProgress, stop it with Stop.
+type Progress struct {
+	reg      *Registry
+	w        io.Writer
+	interval time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	prevTicks float64
+	prevAt    time.Time
+}
+
+// StartProgress begins emitting progress lines for reg to w every
+// interval. Intervals below 100ms are clamped to 100ms — the reporter
+// is a heartbeat, not a profiler.
+func StartProgress(reg *Registry, w io.Writer, interval time.Duration) *Progress {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	p := &Progress{
+		reg:      reg,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		prevAt:   time.Now(),
+	}
+	go p.loop()
+	return p
+}
+
+// Stop halts the reporter after emitting one final line, and waits for
+// the goroutine to exit. Safe to call more than once.
+func (p *Progress) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.emit()
+		case <-p.stop:
+			p.emit()
+			return
+		}
+	}
+}
+
+// emit renders one progress line from the current snapshot.
+func (p *Progress) emit() {
+	vals := make(map[string]float64)
+	for _, s := range p.reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	now := time.Now()
+	var b strings.Builder
+	b.WriteString("obs:")
+	if tick, ok := vals[MetricTick]; ok {
+		fmt.Fprintf(&b, " tick=%.0f", tick)
+	}
+	if cells := vals[MetricDoneCells]; cells > 0 {
+		frac := (cells - vals[MetricDoneRemaining]) / cells
+		fmt.Fprintf(&b, " done=%.1f%%", 100*frac)
+	}
+	if ticks, ok := vals[MetricTicks]; ok {
+		if dt := now.Sub(p.prevAt).Seconds(); dt > 0 && ticks >= p.prevTicks {
+			fmt.Fprintf(&b, " ticks/s=%.0f", (ticks-p.prevTicks)/dt)
+		}
+		p.prevTicks = ticks
+	}
+	p.prevAt = now
+	if s, ok := vals[MetricCompleted]; ok {
+		fmt.Fprintf(&b, " S=%.0f", s)
+	}
+	if f := vals[MetricFailures] + vals[MetricRestarts]; f > 0 {
+		fmt.Fprintf(&b, " |F|=%.0f", f)
+	}
+	if v := vals[MetricViolations]; v > 0 {
+		fmt.Fprintf(&b, " violations=%.0f", v)
+	}
+	if pts, ok := vals[MetricPoints]; ok && (pts > 0 || vals[MetricPointsInflight] > 0) {
+		fmt.Fprintf(&b, " points=%.0f", pts)
+		if inflight := vals[MetricPointsInflight]; inflight > 0 {
+			fmt.Fprintf(&b, "+%.0f", inflight)
+		}
+		if deg := vals[MetricPointsDegraded]; deg > 0 {
+			fmt.Fprintf(&b, " (%.0f degraded)", deg)
+		}
+	}
+	if cp, ok := vals[MetricCheckpoints]; ok && cp > 0 {
+		fmt.Fprintf(&b, " ckpt=%.0f@%.0f", cp, vals[MetricCheckpointGen])
+	}
+	b.WriteByte('\n')
+	_, _ = io.WriteString(p.w, b.String())
+}

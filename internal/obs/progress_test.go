@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressEmitsFinalLineOnStop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricTicks, "").Add(1000)
+	r.Gauge(MetricTick, "").Set(512)
+	r.Gauge(MetricDoneCells, "").Set(100)
+	r.Gauge(MetricDoneRemaining, "").Set(25)
+	r.Counter(MetricCompleted, "").Add(2048)
+	r.Counter(MetricFailures, "").Add(3)
+	r.Counter(MetricRestarts, "").Add(2)
+	r.Counter(MetricPoints, "").Add(9)
+	r.Counter(MetricPointsDegraded, "").Add(1)
+	r.Counter(MetricCheckpoints, "").Add(4)
+	r.Gauge(MetricCheckpointGen, "").Set(768)
+
+	var buf bytes.Buffer
+	p := StartProgress(r, &buf, time.Hour) // only the Stop-time emit fires
+	p.Stop()
+	p.Stop() // idempotent
+
+	out := buf.String()
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("got %d lines, want exactly 1 (rate-limited final emit):\n%s", n, out)
+	}
+	for _, want := range []string{
+		"obs:", "tick=512", "done=75.0%", "S=2048", "|F|=5",
+		"points=9 (1 degraded)", "ckpt=4@768",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress line missing %q: %s", want, out)
+		}
+	}
+	if strings.Contains(out, "violations=") {
+		t.Errorf("zero segments must be omitted: %s", out)
+	}
+}
+
+func TestProgressTicksInterval(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricTicks, "")
+	var buf syncBuffer
+	p := StartProgress(r, &buf, time.Millisecond) // clamps to 100ms
+	if p.interval != 100*time.Millisecond {
+		t.Errorf("interval = %v, want the 100ms clamp", p.interval)
+	}
+	time.Sleep(250 * time.Millisecond)
+	p.Stop()
+	if n := strings.Count(buf.String(), "\n"); n < 2 {
+		t.Errorf("got %d lines after 250ms at a 100ms interval, want >= 2", n)
+	}
+}
+
+// syncBuffer makes the ticker-goroutine writes in
+// TestProgressTicksInterval race-free against the final read; the
+// Stop-only test doesn't need it because Stop's channel handshake
+// orders the single emit before the read.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

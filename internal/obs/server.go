@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// NewMux builds the debug HTTP handler for a registry:
+//
+//	/metrics       registry snapshot, Prometheus text style
+//	/metrics?format=json   the same snapshot as JSON
+//	/debug/vars    expvar (Go runtime memstats, cmdline, plus the
+//	               registry published under "obs")
+//	/debug/pprof/  the standard pprof index, profiles, and traces
+//
+// The handler is safe to serve while runs are in flight: every endpoint
+// reads snapshot-on-read state and never blocks the simulator.
+func NewMux(reg *Registry) *http.ServeMux {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "failstop debug server\n\n/metrics (add ?format=json)\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// expvarOnce guards the process-global expvar name, which panics on
+// double publication.
+var expvarOnce sync.Once
+
+func publishExpvar(reg *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug server for reg on addr and returns once it is
+// listening. An address without a host part (":8080", ":0") binds
+// loopback only — the debug surface exposes pprof and internal
+// counters, so reaching it from another machine must be an explicit
+// decision (e.g. "0.0.0.0:8080").
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address (host:port, with the real
+// port when addr requested :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("pram_ticks_total", "ticks").Add(42)
+	r.Gauge("pram_machine_tick", "tick").Set(7)
+	return r
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMuxServesMetricsText(t *testing.T) {
+	srv := httptest.NewServer(NewMux(newTestRegistry()))
+	defer srv.Close()
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "pram_ticks_total 42\n") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE pram_machine_tick gauge\n") {
+		t.Errorf("metrics body missing TYPE line:\n%s", body)
+	}
+}
+
+func TestMuxServesMetricsJSON(t *testing.T) {
+	srv := httptest.NewServer(NewMux(newTestRegistry()))
+	defer srv.Close()
+	code, body, hdr := get(t, srv, "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Metrics) != 2 || doc.Metrics[0].Name != "pram_ticks_total" {
+		t.Errorf("metrics = %+v", doc.Metrics)
+	}
+}
+
+func TestMuxServesExpvarAndPprof(t *testing.T) {
+	srv := httptest.NewServer(NewMux(newTestRegistry()))
+	defer srv.Close()
+
+	code, body, _ := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if _, ok := vars["obs"]; !ok {
+		t.Error("expvar output missing the published \"obs\" variable")
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status = %d, body missing profile index", code)
+	}
+	code, _, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestMuxIndexAndNotFound(t *testing.T) {
+	srv := httptest.NewServer(NewMux(newTestRegistry()))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index status = %d body = %q", code, body)
+	}
+	code, _, _ = get(t, srv, "/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+// TestServeBindsLoopbackByDefault is the security contract: a bare
+// ":port" address must come up on 127.0.0.1, never on all interfaces.
+func TestServeBindsLoopbackByDefault(t *testing.T) {
+	s, err := Serve(":0", newTestRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.HasPrefix(s.Addr(), "127.0.0.1:") {
+		t.Errorf("Addr() = %q, want a 127.0.0.1 bind", s.Addr())
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "pram_ticks_total") {
+		t.Errorf("live /metrics missing counters:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+func TestServeRejectsBadAddress(t *testing.T) {
+	if _, err := Serve("127.0.0.1:notaport", NewRegistry()); err == nil {
+		t.Error("want error for an unparseable address")
+	}
+}

@@ -634,6 +634,7 @@ func (m *Machine) Step() (bool, error) {
 	m.tick++
 	m.metrics.Ticks = m.tick
 	m.emitTick(alive, before)
+	m.obsTick(before)
 	if m.isDone() {
 		m.emitRunDone(nil)
 		return true, nil
@@ -652,11 +653,14 @@ func (m *Machine) fail(err error) error {
 }
 
 func (m *Machine) emitRunDone(err error) {
-	if m.sink == nil || m.ended {
+	if m.ended {
 		return
 	}
 	m.ended = true
-	m.sink.RunDone(RunEvent{Metrics: m.metrics, Err: err})
+	m.obsRunDone(err)
+	if m.sink != nil {
+		m.sink.RunDone(RunEvent{Metrics: m.metrics, Err: err})
+	}
 }
 
 // emitCycleEvents reports every attempted cycle's outcome, in PID order,
@@ -761,6 +765,7 @@ func (m *Machine) deadTick() (bool, error) {
 	m.tick++
 	m.metrics.Ticks = m.tick
 	m.emitTick(0, before)
+	m.obsTick(before)
 	if m.allHalted() {
 		return false, m.fail(fmt.Errorf("%w (algorithm=%s)", ErrAllHalted, m.alg.Name()))
 	}

@@ -41,7 +41,13 @@ func (m Metrics) SPrime() int64 { return m.Completed + m.Incomplete }
 func (m Metrics) FSize() int64 { return m.Failures + m.Restarts }
 
 // Overhead returns the overhead ratio sigma = S / (|I| + |F|) of
-// Definition 2.3(ii) for this run.
+// Definition 2.3(ii) for this run. A zero denominator — the zero
+// Metrics value, as produced for failed sweep points — reports 0 rather
+// than NaN, so downstream rendering and JSON encoding stay finite.
 func (m Metrics) Overhead() float64 {
-	return float64(m.S()) / float64(int64(m.N)+m.FSize())
+	den := int64(m.N) + m.FSize()
+	if den == 0 {
+		return 0
+	}
+	return float64(m.S()) / float64(den)
 }

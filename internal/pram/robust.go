@@ -154,6 +154,7 @@ const maxViolations = 16
 // either way the run's diagnostics show the adversary broke contract.
 func (m *Machine) recordViolation(k ViolationKind) {
 	m.violationCount++
+	obsViolation()
 	if len(m.violations) < maxViolations {
 		m.violations = append(m.violations, Violation{Kind: k, Tick: m.tick, Adversary: m.adv.Name()})
 	}

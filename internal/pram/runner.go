@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 )
 
 // Runner executes many runs on one pooled Machine, so sweep drivers (the
@@ -78,6 +79,7 @@ func (r *Runner) ResumeCtx(ctx context.Context, cfg Config, alg Algorithm, adv A
 	if err := m.RestoreSnapshot(snap); err != nil {
 		return Metrics{}, err
 	}
+	obsResume()
 	return r.runCtx(ctx, m)
 }
 
@@ -100,6 +102,7 @@ func (r *Runner) ResumeLatestCtx(ctx context.Context, cfg Config, alg Algorithm,
 		return Metrics{}, err
 	}
 	if loaded != r.CheckpointPath {
+		obsResumeFallback()
 		r.logf("pram: checkpoint %s unusable; resuming from previous checkpoint %s (tick %d)",
 			r.CheckpointPath, loaded, snap.Tick)
 	}
@@ -144,6 +147,7 @@ func (r *Runner) runCtx(ctx context.Context, m *Machine) (Metrics, error) {
 
 // checkpoint snapshots m and saves it to CheckpointPath with rotation.
 func (r *Runner) checkpoint(m *Machine) error {
+	start := time.Now()
 	snap, err := m.Snapshot()
 	if err != nil {
 		return fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
@@ -151,6 +155,7 @@ func (r *Runner) checkpoint(m *Machine) error {
 	if err := SaveSnapshotRotate(r.CheckpointPath, snap); err != nil {
 		return fmt.Errorf("pram: checkpoint at tick %d: %w", m.Tick(), err)
 	}
+	obsCheckpoint(m.Tick(), time.Since(start))
 	return nil
 }
 

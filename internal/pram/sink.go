@@ -3,6 +3,7 @@ package pram
 import (
 	"encoding/json"
 	"io"
+	"sync"
 )
 
 // CycleEvent describes the outcome of one processor's update-cycle attempt
@@ -123,12 +124,33 @@ func NewProcTracker(p int) *ProcTracker {
 	return &ProcTracker{work: make([]int64, p), progress: make([]int64, p)}
 }
 
-// CycleDone implements Sink.
+// CycleDone implements Sink. PIDs beyond the tracker's initial size grow
+// the counters on demand: a tracker sized from N observes PIDs up to
+// P−1 on modulo-PID runs (the Lemma 4.5 scenarios run P = 2N processors
+// against N tree leaves), and restarted incarnations keep their original
+// PID, so out-of-range events are legitimate, not a caller bug.
 func (t *ProcTracker) CycleDone(ev CycleEvent) {
+	if ev.PID < 0 {
+		return
+	}
+	if ev.PID >= len(t.work) {
+		t.work = growCounts(t.work, ev.PID+1)
+		t.progress = growCounts(t.progress, ev.PID+1)
+	}
 	if ev.Completed {
 		t.work[ev.PID]++
 	}
 	t.progress[ev.PID] += int64(ev.ArrayWrites)
+}
+
+// growCounts extends a counter slice to length n, preserving contents.
+func growCounts(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]int64, n)
+	copy(out, s)
+	return out
 }
 
 // TickDone implements Sink.
@@ -154,14 +176,29 @@ func copyCounts(src []int64) []int64 {
 // JSONL is a Sink that streams events as JSON lines: one object per
 // event, tagged {"ev":"cycle"|"tick"|"run"}. cmd/writeall's -trace flag
 // wires one to a file. Cycle events are verbose (P lines per tick); use
-// Ticks to restrict the stream to tick and run events.
+// Ticks to restrict the stream to tick and run events, or Sample to
+// thin them.
+//
+// A JSONL serializes its writes internally, so one sink may be shared
+// across machines running concurrently (a parallel sweep tracing to a
+// single file) or polled with Err while a run is in flight. Events from
+// a single machine still arrive in deterministic PID order; interleaving
+// across machines is line-atomic but unordered. Configure Ticks and
+// Sample before attaching the sink.
 type JSONL struct {
 	w io.Writer
 	// Ticks, when set, suppresses cycle events.
 	Ticks bool
+	// Sample, when > 1, keeps only every Sample-th cycle event (the
+	// 1st, the Sample+1-th, ...), so production-scale runs can trace at
+	// a bounded file-growth rate. Tick and run events are never
+	// sampled. Zero or one keeps every event.
+	Sample int
 
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	enc    *json.Encoder
+	err    error
+	cycles uint64 // cycle events seen, for sampling
 }
 
 // NewJSONL returns a sink writing JSON-lines events to w.
@@ -174,7 +211,14 @@ func (j *JSONL) CycleDone(ev CycleEvent) {
 	if j.Ticks {
 		return
 	}
-	j.write(struct {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.cycles
+	j.cycles++
+	if j.Sample > 1 && n%uint64(j.Sample) != 0 {
+		return
+	}
+	j.writeLocked(struct {
 		Ev string `json:"ev"`
 		CycleEvent
 	}{"cycle", ev})
@@ -201,10 +245,23 @@ func (j *JSONL) RunDone(ev RunEvent) {
 	j.write(line)
 }
 
-// Err returns the first write error, if any.
-func (j *JSONL) Err() error { return j.err }
+// Err returns the first write error, if any. The error is sticky: after
+// the first failure the sink stops encoding entirely.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 func (j *JSONL) write(line any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeLocked(line)
+}
+
+// writeLocked encodes one event line; the caller holds j.mu. A sticky
+// error short-circuits before any encoding work.
+func (j *JSONL) writeLocked(line any) {
 	if j.err != nil {
 		return
 	}
