@@ -5,8 +5,11 @@ GO ?= go
 BENCH_OUT ?= BENCH_baseline.json
 # Benchtime for the quick bench-compare pass inside `make check`.
 BENCHTIME ?= 100x
+# Number of independent benchmark runs bench-gate feeds the stability
+# gate; must be >= 3.
+GATE_RUNS ?= 3
 
-.PHONY: all check build vet test test-short race race-equiv obs-check bench bench-json bench-compare bench-check fuzz fuzz-short chaos experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race race-equiv obs-check service-check bench bench-json bench-compare bench-check bench-gate fuzz fuzz-short chaos experiments experiments-full cover clean
 
 all: check
 
@@ -14,7 +17,7 @@ all: check
 # full -race sweep, then runs the robustness gates (short fuzz pass over
 # the decoders, randomized chaos resume grid) and ends with a warn-only
 # benchmark comparison.
-check: build vet test race-equiv obs-check race fuzz-short chaos bench-check
+check: build vet test race-equiv obs-check service-check race fuzz-short chaos bench-check
 
 build:
 	$(GO) build ./...
@@ -47,6 +50,14 @@ obs-check:
 	$(GO) test -race -run 'TestJSONL|TestProcTracker|TestEnableObs|TestObsCounts|TestWatchdog' ./internal/pram/ ./internal/bench/
 	$(GO) vet ./internal/obs/ ./internal/pram/ ./internal/bench/ ./cmd/writeall/ ./cmd/experiments/
 
+# service-check runs the engine/jobs/daemon stack under the race
+# detector: the job store's worker pool, SSE hub, and crash-recovery
+# paths are all concurrency-heavy, and the pramd chaos drill
+# (kill-restart-resume over HTTP) lives in cmd/pramd.
+service-check:
+	$(GO) test -race ./internal/engine/ ./internal/jobs/ ./cmd/pramd/
+	$(GO) vet ./internal/engine/ ./internal/jobs/ ./cmd/pramd/
+
 bench:
 	$(GO) test -bench . -benchmem ./...
 
@@ -61,6 +72,22 @@ bench-json:
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchtime $(BENCHTIME) -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > bench_new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json bench_new.json
+
+# bench-gate is how a BENCH_*.json snapshot gets minted: a fresh build,
+# then $(GATE_RUNS) independent full runs of the tracked benchmarks, each
+# converted to JSON, fed to benchjson -gate, which rejects >10% cross-run
+# spread on any tracked metric. Only a stable machine produces a
+# baseline; the accepted report (the per-metric median) lands in
+# $(BENCH_OUT).
+bench-gate: build
+	@rm -f bench_gate_*.json
+	@for i in $$(seq 1 $(GATE_RUNS)); do \
+		echo "bench-gate: run $$i of $(GATE_RUNS)"; \
+		$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkMachineTick|BenchmarkSteadyState' -benchmem . ./internal/pram | $(GO) run ./cmd/benchjson > bench_gate_$$i.json || exit 1; \
+	done
+	$(GO) run ./cmd/benchjson -gate bench_gate_*.json > $(BENCH_OUT)
+	@rm -f bench_gate_*.json
+	@echo "bench-gate: accepted -> $(BENCH_OUT)"
 
 # bench-check is bench-compare in warn-only form for `make check`: a short
 # benchtime keeps it fast, and the leading '-' keeps noisy regressions
@@ -99,4 +126,5 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt bench_new.json
+	rm -f cover.out test_output.txt bench_output.txt bench_new.json bench_gate_*.json
+	rm -rf pramd.state

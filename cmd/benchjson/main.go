@@ -8,6 +8,7 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_baseline.json
 //	benchjson -compare BENCH_baseline.json BENCH_new.json
+//	benchjson -gate run1.json run2.json run3.json > BENCH_baseline.json
 //
 // In -compare mode it diffs two reports benchmark by benchmark, printing
 // old/new/delta for each tracked metric, and exits 1 if any metric
@@ -16,6 +17,15 @@
 // valid while the benchmark suite grows. Names are matched with the -cpu
 // suffix stripped, so baselines captured at different GOMAXPROCS still
 // line up.
+//
+// In -gate mode it takes three or more reports from repeated runs of the
+// same suite and refuses to mint a baseline from a noisy machine: for
+// every benchmark it computes the cross-run spread (max-min relative to
+// the median) of each tracked metric, and if any spread exceeds -spread
+// percent it prints the offenders and exits 1 with no output report.
+// When every metric is stable it writes the per-metric median report to
+// stdout — that is the only path by which the Makefile's bench-gate
+// target lets a BENCH_*.json snapshot be accepted.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -58,10 +69,41 @@ type Report struct {
 func main() {
 	var (
 		compareMode = flag.Bool("compare", false, "compare two report files (old new) instead of converting stdin")
+		gateMode    = flag.Bool("gate", false, "gate >=3 report files for cross-run stability, emit the median report")
 		threshold   = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		spread      = flag.Float64("spread", 10, "max cross-run spread in percent for -gate")
 		metricsFlag = flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to compare")
 	)
 	flag.Parse()
+
+	if *gateMode {
+		if flag.NArg() < 3 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -gate run1.json run2.json run3.json [...]")
+			os.Exit(2)
+		}
+		reports := make([]Report, flag.NArg())
+		for i, path := range flag.Args() {
+			rep, err := loadReport(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			reports[i] = rep
+		}
+		median, unstable := gate(os.Stderr, reports, splitMetrics(*metricsFlag), *spread)
+		if unstable > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) varied beyond %.0f%% across %d runs; not minting a baseline\n",
+				unstable, *spread, len(reports))
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(median); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compareMode {
 		if flag.NArg() != 2 {
@@ -252,6 +294,128 @@ func relDelta(old, new float64) (float64, string) {
 	}
 	d := (new - old) / old * 100
 	return d, fmt.Sprintf("%+.1f%%", d)
+}
+
+// gate checks cross-run stability of the tracked metrics over three or
+// more reports of the same suite. For each benchmark present in every
+// run it computes spread = (max-min)/median per metric; spreads beyond
+// maxSpread percent are reported on diag and counted. The returned
+// report carries the per-metric median of each stable benchmark (in
+// first-run order, with the first run's environment lines). Benchmarks
+// missing from some runs are noted but excluded rather than failed, so
+// a -benchtime mismatch surfaces as a shrunken baseline, not a flake.
+func gate(diag io.Writer, reports []Report, metrics []string, maxSpread float64) (Report, int) {
+	first := reports[0]
+	median := Report{Goos: first.Goos, Goarch: first.Goarch, CPU: first.CPU, Benchmarks: []Benchmark{}}
+
+	byKey := make([]map[string]Benchmark, len(reports))
+	for i, rep := range reports {
+		byKey[i] = make(map[string]Benchmark, len(rep.Benchmarks))
+		for _, b := range rep.Benchmarks {
+			byKey[i][benchKey(b)] = b
+		}
+	}
+
+	unstable := 0
+	for _, b := range first.Benchmarks {
+		key := benchKey(b)
+		samples := make([]Benchmark, 0, len(reports))
+		for _, m := range byKey {
+			s, ok := m[key]
+			if !ok {
+				break
+			}
+			samples = append(samples, s)
+		}
+		if len(samples) != len(reports) {
+			fmt.Fprintf(diag, "%-60s (missing from %d of %d runs, excluded)\n",
+				displayName(b), len(reports)-len(samples), len(reports))
+			continue
+		}
+
+		mb := Benchmark{Name: b.Name, Package: b.Package, Metrics: make(map[string]float64)}
+		iters := make([]float64, len(samples))
+		for i, s := range samples {
+			iters[i] = float64(s.Iterations)
+		}
+		mb.Iterations = int64(medianOf(iters))
+		for unit := range b.Metrics {
+			vals := make([]float64, 0, len(samples))
+			for _, s := range samples {
+				if v, ok := s.Metrics[unit]; ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == len(samples) {
+				mb.Metrics[unit] = medianOf(vals)
+			}
+		}
+
+		for _, metric := range metrics {
+			vals := make([]float64, 0, len(samples))
+			for _, s := range samples {
+				if v, ok := s.Metrics[metric]; ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) != len(samples) {
+				continue
+			}
+			sp := spreadOf(vals)
+			if sp > maxSpread {
+				fmt.Fprintf(diag, "%-60s %-10s spread %.1f%% > %.0f%% (min %s, max %s)\n",
+					displayName(b), metric, sp, maxSpread,
+					formatVal(minOf(vals)), formatVal(maxOf(vals)))
+				unstable++
+			}
+		}
+		median.Benchmarks = append(median.Benchmarks, mb)
+	}
+	return median, unstable
+}
+
+// spreadOf is (max-min)/median in percent — the gate's noise measure.
+// An all-zero metric (e.g. allocs/op on an alloc-free kernel) has zero
+// spread; a zero median with nonzero samples is infinitely noisy.
+func spreadOf(vals []float64) float64 {
+	min, max, med := minOf(vals), maxOf(vals), medianOf(vals)
+	if max == min {
+		return 0
+	}
+	if med == 0 {
+		return math.Inf(1)
+	}
+	return (max - min) / med * 100
+}
+
+func medianOf(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func minOf(vals []float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(vals []float64) float64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 func formatVal(v float64) string {

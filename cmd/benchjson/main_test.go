@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -125,6 +126,96 @@ func TestCompareDetectsRegressions(t *testing.T) {
 			t.Errorf("compare found %d regressions, want 0\n%s", got, out.String())
 		}
 	})
+}
+
+func TestGateAcceptsStableRuns(t *testing.T) {
+	metrics := []string{"ns/op", "allocs/op"}
+	runs := []Report{
+		mkReport([3]any{"BenchmarkA-8", 1000, 10}, [3]any{"BenchmarkB-8", 2000, 0}),
+		mkReport([3]any{"BenchmarkA-8", 1050, 10}, [3]any{"BenchmarkB-8", 1960, 0}),
+		mkReport([3]any{"BenchmarkA-8", 980, 10}, [3]any{"BenchmarkB-8", 2040, 0}),
+	}
+	var diag strings.Builder
+	median, unstable := gate(&diag, runs, metrics, 10)
+	if unstable != 0 {
+		t.Fatalf("gate rejected stable runs (%d unstable):\n%s", unstable, diag.String())
+	}
+	if len(median.Benchmarks) != 2 {
+		t.Fatalf("median report has %d benchmarks, want 2", len(median.Benchmarks))
+	}
+	if got := median.Benchmarks[0].Metrics["ns/op"]; got != 1000 {
+		t.Errorf("median ns/op for A = %v, want 1000", got)
+	}
+	if got := median.Benchmarks[1].Metrics["ns/op"]; got != 2000 {
+		t.Errorf("median ns/op for B = %v, want 2000", got)
+	}
+}
+
+func TestGateRejectsNoisyRuns(t *testing.T) {
+	metrics := []string{"ns/op", "allocs/op"}
+	runs := []Report{
+		mkReport([3]any{"BenchmarkA-8", 1000, 10}),
+		mkReport([3]any{"BenchmarkA-8", 1300, 10}), // 30% spread on ns/op
+		mkReport([3]any{"BenchmarkA-8", 1010, 10}),
+	}
+	var diag strings.Builder
+	_, unstable := gate(&diag, runs, metrics, 10)
+	if unstable != 1 {
+		t.Fatalf("gate found %d unstable metrics, want 1\n%s", unstable, diag.String())
+	}
+	if !strings.Contains(diag.String(), "spread") {
+		t.Errorf("diagnostics do not name the spread:\n%s", diag.String())
+	}
+}
+
+func TestGateExcludesPartialBenchmarks(t *testing.T) {
+	metrics := []string{"ns/op"}
+	runs := []Report{
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}, [3]any{"BenchmarkFlaky-8", 5, 0}),
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}),
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}),
+	}
+	var diag strings.Builder
+	median, unstable := gate(&diag, runs, metrics, 10)
+	if unstable != 0 {
+		t.Fatalf("missing benchmark counted as instability:\n%s", diag.String())
+	}
+	if len(median.Benchmarks) != 1 || !strings.Contains(median.Benchmarks[0].Name, "BenchmarkA") {
+		t.Fatalf("median report = %+v, want only BenchmarkA", median.Benchmarks)
+	}
+	if !strings.Contains(diag.String(), "excluded") {
+		t.Errorf("diagnostics do not note the exclusion:\n%s", diag.String())
+	}
+}
+
+func TestGateNormalizesCPUSuffixAcrossRuns(t *testing.T) {
+	// Runs captured at different GOMAXPROCS must still line up.
+	runs := []Report{
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}),
+		mkReport([3]any{"BenchmarkA-4", 1010, 0}),
+		mkReport([3]any{"BenchmarkA-2", 990, 0}),
+	}
+	var diag strings.Builder
+	median, unstable := gate(&diag, runs, []string{"ns/op"}, 10)
+	if unstable != 0 || len(median.Benchmarks) != 1 {
+		t.Fatalf("gate = %d unstable, %d benchmarks; want 0, 1\n%s",
+			unstable, len(median.Benchmarks), diag.String())
+	}
+}
+
+func TestSpreadOf(t *testing.T) {
+	if got := spreadOf([]float64{100, 100, 100}); got != 0 {
+		t.Errorf("spread of constant = %v, want 0", got)
+	}
+	if got := spreadOf([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("spread of zeros = %v, want 0", got)
+	}
+	if got := spreadOf([]float64{90, 100, 110}); got < 19.9 || got > 20.1 {
+		t.Errorf("spread of 90..110 = %v, want ~20", got)
+	}
+	if got := spreadOf([]float64{0, 0, 5}); !math.IsInf(got, 1) {
+		t.Errorf("spread with zero median = %v, want +inf", got)
+	}
 }
 
 func TestBenchKeyNormalizesCPUSuffix(t *testing.T) {

@@ -24,6 +24,10 @@
 // instead of wedging the sweep. Fault injection in the harness's own I/O
 // is controlled by the PRAM_FAULTS / PRAM_FAULT_SEED environment
 // variables (see internal/faultinject).
+//
+// The command is a thin client of internal/engine: flags parse into an
+// engine.SweepSpec, engine.ExecuteSweep drives the journal and the
+// experiment registry, and this file only renders tables as they arrive.
 package main
 
 import (
@@ -32,12 +36,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/pram"
 )
@@ -51,143 +55,88 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+// cliOptions holds the flags that configure the process rather than the
+// sweep: rendering and the observability surface.
+type cliOptions struct {
+	format    string
+	debugAddr string
+	progress  time.Duration
+}
+
+// parseSpec maps the flag surface onto an engine.SweepSpec plus the
+// process-level options; the spec's own Validate (inside ExecuteSweep)
+// does the semantic checks.
+func parseSpec(args []string) (engine.SweepSpec, cliOptions, error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	var (
-		only     = fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
-		full     = fs.Bool("full", false, "use the full sizes recorded in EXPERIMENTS.md")
-		format   = fs.String("format", "text", "output format: text or markdown")
-		parallel = fs.Int("parallel", 1, "sweep points evaluated concurrently (0 = GOMAXPROCS); output is identical at any setting")
-		ckptDir  = fs.String("checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
-		resume   = fs.Bool("resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
-		deadline = fs.Duration("deadline", 0, "wall-clock budget per sweep point; overrunning points degrade to error rows (0 disables)")
-		debugAdr = fs.String("debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the sweep (a bare :port binds localhost; empty disables)")
-		progress = fs.Duration("progress", 0, "print a live progress line (points done, degraded, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
-	)
+	var spec engine.SweepSpec
+	var opts cliOptions
+	only := fs.String("run", "", "comma-separated experiment IDs (e.g. E1,E6); empty means all")
+	fs.StringVar(&opts.format, "format", "text", "output format: text or markdown")
+	fs.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the sweep (a bare :port binds localhost; empty disables)")
+	fs.DurationVar(&opts.progress, "progress", 0, "print a live progress line (points done, degraded, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
+	fs.BoolVar(&spec.Full, "full", false, "use the full sizes recorded in EXPERIMENTS.md")
+	fs.IntVar(&spec.Parallel, "parallel", 1, "sweep points evaluated concurrently (0 = GOMAXPROCS); output is identical at any setting")
+	fs.StringVar(&spec.CheckpointDir, "checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
+	fs.BoolVar(&spec.Resume, "resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
+	fs.DurationVar(&spec.Deadline, "deadline", 0, "wall-clock budget per sweep point; overrunning points degrade to error rows (0 disables)")
 	if err := fs.Parse(args); err != nil {
+		return spec, opts, err
+	}
+	// Split-then-join is the identity, so the engine's "no experiments
+	// matched -run=%q" error echoes the flag exactly as typed.
+	spec.Run = strings.Split(*only, ",")
+	return spec, opts, nil
+}
+
+func run(ctx context.Context, args []string) error {
+	spec, opts, err := parseSpec(args)
+	if err != nil {
 		return err
 	}
-	if *resume && *ckptDir == "" {
-		return fmt.Errorf("-resume requires -checkpoint-dir")
-	}
-	bench.SetParallelism(*parallel)
-	bench.SetPointDeadline(*deadline)
 
-	if *debugAdr != "" || *progress > 0 {
+	if opts.debugAddr != "" || opts.progress > 0 {
 		reg := obs.Default()
 		pram.EnableObs(reg)
 		bench.EnableObs(reg)
 		obs.CollectFaultInject(reg)
-		if *debugAdr != "" {
-			srv, err := obs.Serve(*debugAdr, reg)
+		if opts.debugAddr != "" {
+			srv, err := obs.Serve(opts.debugAddr, reg)
 			if err != nil {
 				return err
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
 		}
-		if *progress > 0 {
-			p := obs.StartProgress(reg, os.Stderr, *progress)
+		if opts.progress > 0 {
+			p := obs.StartProgress(reg, os.Stderr, opts.progress)
 			defer p.Stop()
 		}
 	}
 
-	scale := bench.Quick
-	if *full {
-		scale = bench.Full
-	}
-	want := make(map[string]bool)
-	for _, id := range strings.Split(*only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			want[strings.ToUpper(id)] = true
-		}
-	}
-
-	var journal *bench.Journal
-	if *ckptDir != "" {
-		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-			return fmt.Errorf("create checkpoint dir: %w", err)
-		}
-		path := filepath.Join(*ckptDir, "journal.jsonl")
-		if !*resume {
-			// A fresh sweep must not inherit a previous run's journal.
-			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-				return fmt.Errorf("clear journal: %w", err)
-			}
-		}
-		var err error
-		journal, err = bench.OpenJournal(path)
-		if err != nil {
-			return err
-		}
-		defer journal.Close()
-	}
-
-	render := func(tables []bench.Table) {
-		for i := range tables {
-			switch *format {
-			case "markdown", "md":
-				tables[i].RenderMarkdown(os.Stdout)
-			default:
-				tables[i].Render(os.Stdout)
-			}
-		}
-	}
-
-	ran, degraded := 0, 0
-	for _, e := range bench.All() {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			// Interrupted: everything journaled so far is already synced;
-			// exit nonzero so the wrapper knows the sweep is partial.
-			return fmt.Errorf("sweep interrupted before %s: %w (journaled experiments are kept; rerun with -resume)", e.ID, err)
-		}
-		key := fmt.Sprintf("%s/scale=%d", e.ID, scale)
-		if journal != nil {
-			var tables []bench.Table
-			if ok, err := journal.Get(key, &tables); err != nil {
-				return err
-			} else if ok {
-				render(tables)
-				if *format == "text" {
-					fmt.Printf("  [%s replayed from journal]\n\n", e.ID)
+	res, err := engine.ExecuteSweep(ctx, spec, engine.SweepOptions{
+		OnResult: func(ev engine.SweepEvent) {
+			for i := range ev.Tables {
+				switch opts.format {
+				case "markdown", "md":
+					ev.Tables[i].RenderMarkdown(os.Stdout)
+				default:
+					ev.Tables[i].Render(os.Stdout)
 				}
-				ran++
-				continue
 			}
-		}
-		start := time.Now()
-		tables := e.Run(ctx, scale)
-		bench.ExperimentDone()
-		interrupted := ctx.Err() != nil
-		for i := range tables {
-			degraded += len(tables[i].Errors)
-		}
-		if journal != nil && !interrupted {
-			// A journal entry asserts "this experiment finished"; an
-			// interrupted run's tables are partial, so they must re-run
-			// on -resume rather than replay. A failed Put degrades the
-			// journal (this experiment re-runs on resume), not the sweep.
-			if err := journal.Put(key, tables); err != nil {
-				fmt.Fprintf(os.Stderr, "warning: %v (%s will re-run on -resume)\n", err, e.ID)
+			if opts.format == "text" {
+				if ev.Replayed {
+					fmt.Printf("  [%s replayed from journal]\n\n", ev.ID)
+				} else {
+					fmt.Printf("  [%s took %v]\n\n", ev.ID, ev.Elapsed.Round(time.Millisecond))
+				}
 			}
-		}
-		render(tables)
-		if *format == "text" {
-			fmt.Printf("  [%s took %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
-		ran++
-		if interrupted {
-			return fmt.Errorf("sweep interrupted during %s: %w (partial tables above; rerun with -resume)", e.ID, ctx.Err())
-		}
+		},
+	})
+	if err != nil {
+		return err
 	}
-	if ran == 0 {
-		return fmt.Errorf("no experiments matched -run=%q; known IDs are E1..E17", *only)
-	}
-	if degraded > 0 {
-		fmt.Fprintf(os.Stderr, "note: %d sweep point(s) degraded to errors (reported inline above)\n", degraded)
+	if res.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d sweep point(s) degraded to errors (reported inline above)\n", res.Degraded)
 	}
 	return nil
 }

@@ -6,16 +6,19 @@
 //
 //	pramsim -prog prefix-sum -n 256 -p 16 -adv random -fail 0.2
 //	pramsim -prog matmul -k 4 -dump
+//
+// The command is a thin client of internal/engine: flags parse into an
+// engine.SimSpec, engine.ExecuteSim runs and validates the simulation,
+// and this file only formats the result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	failstop "repro"
-	"repro/internal/core"
-	"repro/internal/prog"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -25,154 +28,79 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("pramsim", flag.ContinueOnError)
-	var (
-		progName = fs.String("prog", "prefix-sum", "program: assign, reduce-sum, prefix-sum, list-rank, odd-even-sort, matmul, broadcast, max-reduce, tree-roots")
-		n        = fs.Int("n", 256, "simulated processor count N (assign/reduce/prefix/list-rank/sort)")
-		k        = fs.Int("k", 4, "matrix dimension K (matmul)")
-		p        = fs.Int("p", 0, "real processor count P (0 means P = N)")
-		advName  = fs.String("adv", "none", "adversary: none, random, thrashing, rotating")
-		seed     = fs.Int64("seed", 1, "random seed")
-		failP    = fs.Float64("fail", 0.1, "per-tick failure probability (random)")
-		restart  = fs.Float64("restart", 0.5, "per-tick restart probability (random)")
-		engine   = fs.String("engine", "vx", "Write-All engine: vx (paper's V+X) or x")
-		dump     = fs.Bool("dump", false, "print the final simulated memory")
-		perStep  = fs.Bool("steps", false, "print per-simulated-step work and overhead (Theorem 4.1's per-step measures)")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+// cliOptions holds the flags that shape output rather than the
+// simulation itself.
+type cliOptions struct {
+	dump bool
+}
 
-	program, checker, err := buildProgram(*progName, *n, *k)
+// parseSpec maps the flag surface onto an engine.SimSpec plus the
+// process-level options; the spec's own Validate (inside ExecuteSim)
+// does the semantic checks.
+func parseSpec(args []string) (engine.SimSpec, cliOptions, error) {
+	fs := flag.NewFlagSet("pramsim", flag.ContinueOnError)
+	var spec engine.SimSpec
+	var opts cliOptions
+	engName := fs.String("engine", "vx", "Write-All engine: vx (paper's V+X) or x")
+	fs.BoolVar(&opts.dump, "dump", false, "print the final simulated memory")
+	fs.StringVar(&spec.Program, "prog", "prefix-sum", "program: assign, reduce-sum, prefix-sum, list-rank, odd-even-sort, matmul, broadcast, max-reduce, tree-roots")
+	fs.IntVar(&spec.N, "n", 256, "simulated processor count N (assign/reduce/prefix/list-rank/sort)")
+	fs.IntVar(&spec.K, "k", 4, "matrix dimension K (matmul)")
+	fs.IntVar(&spec.P, "p", 0, "real processor count P (0 means P = N)")
+	fs.StringVar(&spec.Adversary, "adv", "none", "adversary: none, random, thrashing, rotating")
+	fs.Int64Var(&spec.Seed, "seed", 1, "random seed")
+	fs.Float64Var(&spec.FailProb, "fail", 0.1, "per-tick failure probability (random)")
+	fs.Float64Var(&spec.RestartProb, "restart", 0.5, "per-tick restart probability (random)")
+	fs.BoolVar(&spec.PerStep, "steps", false, "print per-simulated-step work and overhead (Theorem 4.1's per-step measures)")
+	if err := fs.Parse(args); err != nil {
+		return spec, opts, err
+	}
+	// The historical flag treated every value but "x" as "vx"; keep that
+	// so the spec (which is strict) never rejects a CLI invocation.
+	spec.Engine = "vx"
+	if *engName == "x" {
+		spec.Engine = "x"
+	}
+	return spec, opts, nil
+}
+
+func run(args []string) error {
+	spec, opts, err := parseSpec(args)
 	if err != nil {
 		return err
 	}
-	if *p == 0 || *p > program.Processors() {
-		*p = program.Processors()
-	}
 
-	var adv failstop.Adversary
-	switch *advName {
-	case "none":
-		adv = failstop.NoFailures()
-	case "random":
-		adv = failstop.RandomFailures(*failP, *restart, *seed)
-	case "thrashing":
-		adv = failstop.ThrashingAdversary(false)
-	case "rotating":
-		adv = failstop.ThrashingAdversary(true)
-	default:
-		return fmt.Errorf("unknown adversary %q", *advName)
-	}
-
-	eng := failstop.EngineVX
-	if *engine == "x" {
-		eng = failstop.EngineX
-	}
-
-	var (
-		res       failstop.Result
-		stepStats []core.StepMetric
-	)
-	if *perStep {
-		var metrics failstop.Metrics
-		var err error
-		metrics, stepStats, err = core.RunWithStepMetrics(program, *p, adv, failstop.Config{}, eng)
-		if err != nil {
-			return fmt.Errorf("execute %s: %w", program.Name(), err)
-		}
-		res.Metrics = metrics
-		// Re-run failure-free for the memory (step-metrics mode keeps
-		// its own machine); simpler: reconstruct via a fresh execution
-		// would differ under a stateful adversary, so extract from a
-		// separate run only when dumping is not requested.
-	} else {
-		var err error
-		res, err = failstop.ExecuteWithEngine(program, *p, adv, failstop.Config{}, eng)
-		if err != nil {
-			return fmt.Errorf("execute %s: %w", program.Name(), err)
-		}
+	res, err := engine.ExecuteSim(context.Background(), spec)
+	if err != nil {
+		return err
 	}
 
 	m := res.Metrics
-	tau := program.Steps()
-	fmt.Printf("program           %s\n", program.Name())
-	fmt.Printf("engine            %s\n", eng)
-	fmt.Printf("N (simulated)     %d\n", program.Processors())
-	fmt.Printf("P (real)          %d\n", *p)
+	tau := res.Steps
+	fmt.Printf("program           %s\n", res.Program)
+	fmt.Printf("engine            %s\n", res.EngineDisplay)
+	fmt.Printf("N (simulated)     %d\n", res.SimN)
+	fmt.Printf("P (real)          %d\n", res.P)
 	fmt.Printf("steps tau         %d\n", tau)
 	fmt.Printf("ticks             %d\n", m.Ticks)
 	fmt.Printf("completed work S  %d  (S/(tau*N) = %.2f)\n",
-		m.S(), float64(m.S())/(float64(tau)*float64(program.Processors())))
+		m.S(), float64(m.S())/(float64(tau)*float64(res.SimN)))
 	fmt.Printf("failures/restarts %d/%d\n", m.Failures, m.Restarts)
 	fmt.Printf("overhead sigma    %.3f\n",
 		float64(m.S())/(float64(tau)*float64(m.N)+float64(m.FSize())))
-	if !*perStep {
-		if err := checker.Check(res.Memory); err != nil {
-			return fmt.Errorf("output validation failed: %w", err)
-		}
+	if res.Validated {
 		fmt.Println("output            validated against failure-free semantics")
 	}
-	if *dump && res.Memory != nil {
+	if opts.dump && res.Memory != nil {
 		fmt.Printf("memory            %v\n", res.Memory)
 	}
-	if *perStep {
+	if spec.PerStep {
 		fmt.Println()
 		fmt.Printf("%6s %10s %8s %8s %10s\n", "step", "S", "|F|", "ticks", "sigma")
-		for _, sm := range stepStats {
+		for _, sm := range res.StepStats {
 			fmt.Printf("%6d %10d %8d %8d %10.2f\n",
-				sm.Step, sm.S, sm.F, sm.Ticks, sm.Sigma(program.Processors()))
+				sm.Step, sm.S, sm.F, sm.Ticks, sm.Sigma(res.SimN))
 		}
 	}
 	return nil
-}
-
-// buildProgram constructs the requested sample program.
-func buildProgram(name string, n, k int) (failstop.Program, prog.Checker, error) {
-	switch name {
-	case "assign":
-		pr := prog.Assign{N: n}
-		return pr, pr, nil
-	case "reduce-sum":
-		pr := prog.ReduceSum{N: n}
-		return pr, pr, nil
-	case "prefix-sum":
-		pr := prog.PrefixSum{N: n}
-		return pr, pr, nil
-	case "list-rank":
-		pr := prog.ListRank{N: n}
-		return pr, pr, nil
-	case "odd-even-sort":
-		input := make([]failstop.Word, n)
-		for i := range input {
-			input[i] = failstop.Word((i*7919 + 13) % (4 * n))
-		}
-		pr := prog.OddEvenSort{N: n, Input: input}
-		return pr, pr, nil
-	case "broadcast":
-		pr := prog.Broadcast{N: n}
-		return pr, pr, nil
-	case "max-reduce":
-		input := make([]failstop.Word, n)
-		for i := range input {
-			input[i] = failstop.Word((i*2654435761 + 17) % (1 << 20))
-		}
-		pr := prog.MaxReduce{N: n, Input: input}
-		return pr, pr, nil
-	case "tree-roots":
-		pr := prog.TreeRoots{N: n}
-		return pr, pr, nil
-	case "matmul":
-		a := make([]failstop.Word, k*k)
-		b := make([]failstop.Word, k*k)
-		for i := range a {
-			a[i] = failstop.Word(i + 1)
-			b[i] = failstop.Word(len(b) - i)
-		}
-		pr := prog.MatMul{K: k, A: a, B: b}
-		return pr, pr, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown program %q", name)
-	}
 }

@@ -11,19 +11,22 @@
 // Algorithms: X, V, combined, W, oblivious, ACC, trivial, sequential.
 // Adversaries: none, random, thrashing, rotating, halving, postorder,
 // stalking, stalking-failstop.
+//
+// The command is a thin client of internal/engine: flags parse into an
+// engine.RunSpec, engine.ExecuteRun does the machine/Runner/sink
+// wiring, and this file only formats the result.
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
-	failstop "repro"
-	"repro/internal/adversary"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/pram"
 )
@@ -37,226 +40,94 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, args []string) error {
+// cliOptions holds the flags that configure the process rather than the
+// run: the observability surface.
+type cliOptions struct {
+	debugAddr string
+	progress  time.Duration
+}
+
+// parseSpec maps the flag surface onto an engine.RunSpec plus the
+// process-level options. It performs only flag-shaped validation; the
+// spec's own Validate (inside ExecuteRun) covers the rest.
+func parseSpec(args []string) (engine.RunSpec, cliOptions, error) {
+	var spec engine.RunSpec
+	var opts cliOptions
 	fs := flag.NewFlagSet("writeall", flag.ContinueOnError)
-	var (
-		algName  = fs.String("alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
-		advName  = fs.String("adv", "none", "adversary: none, random, thrashing, rotating, halving, postorder, stalking, stalking-failstop")
-		n        = fs.Int("n", 1024, "Write-All array size N")
-		p        = fs.Int("p", 0, "processor count P (0 means P = N)")
-		seed     = fs.Int64("seed", 1, "random seed (random adversary, ACC)")
-		failP    = fs.Float64("fail", 0.1, "per-tick failure probability (random adversary)")
-		restart  = fs.Float64("restart", 0.5, "per-tick restart probability (random adversary)")
-		events   = fs.Int64("events", 0, "cap on failure+restart events, 0 = unlimited (random adversary)")
-		ticks    = fs.Int("ticks", 0, "tick budget, 0 = default")
-		csvPath  = fs.String("csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
-		traceOut = fs.String("trace", "", "stream the run's event trace (cycle, tick, and run events) as JSON lines to this file")
-		traceTk  = fs.Bool("trace-ticks", false, "with -trace, restrict the stream to tick and run events")
-		traceNth = fs.Int("trace-sample", 1, "with -trace, keep only every Nth cycle event (tick and run events are always kept)")
-		debugAdr = fs.String("debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the run (a bare :port binds localhost; empty disables)")
-		progress = fs.Duration("progress", 0, "print a live progress line (tick, done %, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
-		parallel = fs.Int("parallel", 0, "run the parallel tick kernel with this many workers (0 = serial, -1 = GOMAXPROCS)")
-		record   = fs.String("record", "", "record the inflicted failure pattern as JSON to this file")
-		replay   = fs.String("replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
-		snapshot = fs.String("snapshot", "", "checkpoint the machine to this file every -snapshot-every ticks (atomic overwrite)")
-		snapEvry = fs.Int("snapshot-every", 1024, "checkpoint interval in ticks (with -snapshot)")
-		restore  = fs.String("restore", "", "resume from a snapshot file instead of starting fresh (-n/-p come from the snapshot; -alg/-adv/-seed must match the original run)")
-	)
+	fs.StringVar(&spec.Algorithm, "alg", "X", "algorithm: X, V, combined, W, oblivious, ACC, trivial, sequential")
+	fs.StringVar(&spec.Adversary, "adv", "none", "adversary: none, random, thrashing, rotating, halving, postorder, stalking, stalking-failstop")
+	fs.IntVar(&spec.N, "n", 1024, "Write-All array size N")
+	fs.IntVar(&spec.P, "p", 0, "processor count P (0 means P = N)")
+	fs.Int64Var(&spec.Seed, "seed", 1, "random seed (random adversary, ACC)")
+	fs.Float64Var(&spec.FailProb, "fail", 0.1, "per-tick failure probability (random adversary)")
+	fs.Float64Var(&spec.RestartProb, "restart", 0.5, "per-tick restart probability (random adversary)")
+	fs.Int64Var(&spec.MaxEvents, "events", 0, "cap on failure+restart events, 0 = unlimited (random adversary)")
+	fs.IntVar(&spec.MaxTicks, "ticks", 0, "tick budget, 0 = default")
+	fs.StringVar(&spec.CSVPath, "csv", "", "write a per-tick CSV profile (tick,alive,completed,failures,restarts) to this file")
+	fs.StringVar(&spec.TracePath, "trace", "", "stream the run's event trace (cycle, tick, and run events) as JSON lines to this file")
+	fs.BoolVar(&spec.TraceTicksOnly, "trace-ticks", false, "with -trace, restrict the stream to tick and run events")
+	fs.IntVar(&spec.TraceSample, "trace-sample", 1, "with -trace, keep only every Nth cycle event (tick and run events are always kept)")
+	fs.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, expvar and /debug/pprof on this address for the duration of the run (a bare :port binds localhost; empty disables)")
+	fs.DurationVar(&opts.progress, "progress", 0, "print a live progress line (tick, done %, tick rate) to stderr at this interval, e.g. 2s (0 disables)")
+	fs.IntVar(&spec.Workers, "parallel", 0, "run the parallel tick kernel with this many workers (0 = serial, -1 = GOMAXPROCS)")
+	fs.StringVar(&spec.RecordPath, "record", "", "record the inflicted failure pattern as JSON to this file")
+	fs.StringVar(&spec.ReplayPath, "replay", "", "replay a recorded failure pattern from this file (overrides -adv)")
+	fs.StringVar(&spec.CheckpointPath, "snapshot", "", "checkpoint the machine to this file every -snapshot-every ticks (atomic overwrite)")
+	fs.IntVar(&spec.CheckpointEvery, "snapshot-every", 1024, "checkpoint interval in ticks (with -snapshot)")
+	fs.StringVar(&spec.RestorePath, "restore", "", "resume from a snapshot file instead of starting fresh (-n/-p come from the snapshot; -alg/-adv/-seed must match the original run)")
 	if err := fs.Parse(args); err != nil {
+		return spec, opts, err
+	}
+	if spec.CheckpointPath != "" && spec.CheckpointEvery < 1 {
+		return spec, opts, fmt.Errorf("-snapshot-every must be >= 1, got %d", spec.CheckpointEvery)
+	}
+	if spec.TraceSample < 1 {
+		return spec, opts, fmt.Errorf("-trace-sample must be >= 1, got %d", spec.TraceSample)
+	}
+	return spec, opts, nil
+}
+
+func run(ctx context.Context, args []string) error {
+	spec, opts, err := parseSpec(args)
+	if err != nil {
 		return err
 	}
-	if *snapshot != "" && *snapEvry < 1 {
-		return fmt.Errorf("-snapshot-every must be >= 1, got %d", *snapEvry)
-	}
-	if *traceNth < 1 {
-		return fmt.Errorf("-trace-sample must be >= 1, got %d", *traceNth)
-	}
 
-	if *debugAdr != "" || *progress > 0 {
+	if opts.debugAddr != "" || opts.progress > 0 {
 		reg := obs.Default()
 		pram.EnableObs(reg)
 		obs.CollectFaultInject(reg)
-		if *debugAdr != "" {
-			srv, err := obs.Serve(*debugAdr, reg)
+		if opts.debugAddr != "" {
+			srv, err := obs.Serve(opts.debugAddr, reg)
 			if err != nil {
 				return err
 			}
 			defer srv.Close()
 			fmt.Fprintf(os.Stderr, "debug server: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
 		}
-		if *progress > 0 {
-			p := obs.StartProgress(reg, os.Stderr, *progress)
+		if opts.progress > 0 {
+			p := obs.StartProgress(reg, os.Stderr, opts.progress)
 			defer p.Stop()
 		}
 	}
 
-	var snap *pram.Snapshot
-	if *restore != "" {
-		var err error
-		var loaded string
-		snap, loaded, err = pram.LoadSnapshotFallback(*restore)
-		if err != nil {
-			return err
-		}
-		if loaded != *restore {
-			fmt.Fprintf(os.Stderr, "warning: checkpoint %s unusable; resuming from previous checkpoint %s (tick %d)\n",
-				*restore, loaded, snap.Tick)
-		}
-		// The snapshot fixes the machine shape; flags only select the
-		// (matching) algorithm and adversary constructions.
-		*n, *p = snap.N, snap.P
-	}
-	if *p == 0 {
-		*p = *n
-	}
-
-	cfg := failstop.Config{N: *n, P: *p, MaxTicks: *ticks}
-	if *parallel != 0 {
-		cfg.Kernel = pram.ParallelKernel
-		cfg.Workers = *parallel // non-positive means GOMAXPROCS
-	}
-
-	var sinks pram.MultiSink
-	if *csvPath != "" {
-		csvFile, err := os.Create(*csvPath)
-		if err != nil {
-			return fmt.Errorf("create csv: %w", err)
-		}
-		defer csvFile.Close()
-		fmt.Fprintln(csvFile, "tick,alive,completed,failures,restarts")
-		sinks = append(sinks, pram.TickFunc(func(ev pram.TickEvent) {
-			fmt.Fprintf(csvFile, "%d,%d,%d,%d,%d\n",
-				ev.Tick, ev.Alive, ev.Completed, ev.Failures, ev.Restarts)
-		}))
-	}
-	var jsonl *pram.JSONL
-	if *traceOut != "" {
-		traceFile, err := os.Create(*traceOut)
-		if err != nil {
-			return fmt.Errorf("create trace: %w", err)
-		}
-		defer traceFile.Close()
-		buffered := bufio.NewWriter(traceFile)
-		defer buffered.Flush()
-		jsonl = pram.NewJSONL(buffered)
-		jsonl.Ticks = *traceTk
-		jsonl.Sample = *traceNth
-		sinks = append(sinks, jsonl)
-	}
-	switch len(sinks) {
-	case 0:
-	case 1:
-		cfg.Sink = sinks[0]
-	default:
-		cfg.Sink = sinks
-	}
-
-	var alg failstop.Algorithm
-	switch *algName {
-	case "X":
-		alg = failstop.NewX()
-	case "V":
-		alg = failstop.NewV()
-	case "combined":
-		alg = failstop.NewCombined()
-	case "W":
-		alg = failstop.NewW()
-	case "oblivious":
-		alg = failstop.NewOblivious()
-		cfg.AllowSnapshot = true
-	case "ACC":
-		alg = failstop.NewACC(*seed)
-	case "trivial":
-		alg = failstop.NewTrivial()
-	case "sequential":
-		alg = failstop.NewSequential()
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algName)
-	}
-
-	var adv failstop.Adversary
-	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
-			return fmt.Errorf("open pattern: %w", err)
-		}
-		pattern, err := adversary.ReadPattern(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		adv = adversary.NewScheduled(pattern)
-		*advName = "(replayed)"
-	}
-	switch *advName {
-	case "(replayed)":
-		// set above
-	case "none":
-		adv = failstop.NoFailures()
-	case "random":
-		if *events > 0 {
-			adv = failstop.BudgetedRandomFailures(*failP, *restart, *seed, *events)
-		} else {
-			adv = failstop.RandomFailures(*failP, *restart, *seed)
-		}
-	case "thrashing":
-		adv = failstop.ThrashingAdversary(false)
-	case "rotating":
-		adv = failstop.ThrashingAdversary(true)
-	case "halving":
-		adv = failstop.HalvingAdversary()
-	case "postorder":
-		adv = failstop.PostOrderAdversary(*n, *p)
-	case "stalking":
-		adv = failstop.StalkingAdversary(*n, *p, true)
-	case "stalking-failstop":
-		adv = failstop.StalkingAdversary(*n, *p, false)
-	default:
-		return fmt.Errorf("unknown adversary %q", *advName)
-	}
-
-	var recorder *adversary.Recorder
-	if *record != "" {
-		recorder = adversary.NewRecorder(adv)
-		adv = recorder
-	}
-
-	runner := &pram.Runner{CheckpointPath: *snapshot, CheckpointEvery: *snapEvry}
-	var m failstop.Metrics
-	var err error
-	if snap != nil {
-		m, err = runner.ResumeCtx(ctx, cfg, alg, adv, snap)
-	} else {
-		m, err = runner.RunCtx(ctx, cfg, alg, adv)
-	}
+	res, runErr := engine.ExecuteRun(ctx, spec, engine.RunOptions{})
 	// Adversary contract violations are diagnostics worth reporting
 	// whether or not the run completed: they locate the offending tick.
-	for _, v := range runner.Violations() {
+	for _, v := range res.Violations {
 		fmt.Fprintf(os.Stderr, "adversary contract violation: %s\n", v)
 	}
-	if err != nil {
+	if runErr != nil {
 		// On interruption the Runner has already flushed a final
 		// checkpoint (when -snapshot is set), so the run is resumable
 		// with -restore.
-		return fmt.Errorf("%s under %s: %w", alg.Name(), adv.Name(), err)
-	}
-	if jsonl != nil && jsonl.Err() != nil {
-		return fmt.Errorf("write trace: %w", jsonl.Err())
-	}
-	if recorder != nil {
-		f, err := os.Create(*record)
-		if err != nil {
-			return fmt.Errorf("create pattern file: %w", err)
-		}
-		defer f.Close()
-		if err := adversary.WritePattern(f, recorder.Pattern()); err != nil {
-			return err
-		}
+		return runErr
 	}
 
-	fmt.Printf("algorithm         %s\n", alg.Name())
-	fmt.Printf("adversary         %s\n", adv.Name())
-	fmt.Printf("N, P              %d, %d\n", *n, *p)
+	m := res.Metrics
+	fmt.Printf("algorithm         %s\n", res.Algorithm)
+	fmt.Printf("adversary         %s\n", res.Adversary)
+	fmt.Printf("N, P              %d, %d\n", res.N, res.P)
 	fmt.Printf("ticks             %d\n", m.Ticks)
 	fmt.Printf("completed work S  %d\n", m.S())
 	fmt.Printf("S' (with killed)  %d\n", m.SPrime())

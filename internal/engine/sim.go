@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	failstop "repro"
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// SimResult is the outcome of one robust PRAM simulation.
+type SimResult struct {
+	// Program is the program's display name; Engine the Write-All
+	// engine that drove it ("vx" or "x"); EngineDisplay the engine's
+	// human-readable name ("V+X" or "X"), as the CLI prints it.
+	Program       string `json:"program"`
+	Engine        string `json:"engine"`
+	EngineDisplay string `json:"engine_display"`
+	// SimN is the simulated processor count N; P the real processor
+	// count after clamping; Steps the program length tau.
+	SimN  int `json:"sim_n"`
+	P     int `json:"p"`
+	Steps int `json:"steps"`
+	// Metrics is the paper's accounting for the whole simulation.
+	Metrics failstop.Metrics `json:"metrics"`
+	// StepStats holds Theorem 4.1's per-simulated-step measures
+	// (PerStep specs only).
+	StepStats []core.StepMetric `json:"step_stats,omitempty"`
+	// Memory is the final simulated memory (non-PerStep specs only).
+	Memory []failstop.Word `json:"memory,omitempty"`
+	// Validated reports that Memory matched the failure-free semantics
+	// (checked for every non-PerStep run; a mismatch is an error).
+	Validated bool `json:"validated,omitempty"`
+}
+
+// simPrograms lists the sample programs, in the order cmd/pramsim
+// documents them.
+var simPrograms = []string{
+	"assign", "reduce-sum", "prefix-sum", "list-rank",
+	"odd-even-sort", "matmul", "broadcast", "max-reduce", "tree-roots",
+}
+
+func knownProgram(name string) bool {
+	for _, p := range simPrograms {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Programs returns the sample program names, in the order cmd/pramsim
+// documents them.
+func Programs() []string { return append([]string(nil), simPrograms...) }
+
+// NewProgram constructs the named sample program (with its deterministic
+// input, where the program takes one) and its output checker.
+func NewProgram(name string, n, k int) (failstop.Program, prog.Checker, error) {
+	switch name {
+	case "assign":
+		pr := prog.Assign{N: n}
+		return pr, pr, nil
+	case "reduce-sum":
+		pr := prog.ReduceSum{N: n}
+		return pr, pr, nil
+	case "prefix-sum":
+		pr := prog.PrefixSum{N: n}
+		return pr, pr, nil
+	case "list-rank":
+		pr := prog.ListRank{N: n}
+		return pr, pr, nil
+	case "odd-even-sort":
+		input := make([]failstop.Word, n)
+		for i := range input {
+			input[i] = failstop.Word((i*7919 + 13) % (4 * n))
+		}
+		pr := prog.OddEvenSort{N: n, Input: input}
+		return pr, pr, nil
+	case "broadcast":
+		pr := prog.Broadcast{N: n}
+		return pr, pr, nil
+	case "max-reduce":
+		input := make([]failstop.Word, n)
+		for i := range input {
+			input[i] = failstop.Word((i*2654435761 + 17) % (1 << 20))
+		}
+		pr := prog.MaxReduce{N: n, Input: input}
+		return pr, pr, nil
+	case "tree-roots":
+		pr := prog.TreeRoots{N: n}
+		return pr, pr, nil
+	case "matmul":
+		a := make([]failstop.Word, k*k)
+		b := make([]failstop.Word, k*k)
+		for i := range a {
+			a[i] = failstop.Word(i + 1)
+			b[i] = failstop.Word(len(b) - i)
+		}
+		pr := prog.MatMul{K: k, A: a, B: b}
+		return pr, pr, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown program %q", name)
+	}
+}
+
+// ExecuteSim validates spec and runs the program robustly on P
+// restartable fail-stop processors (Theorem 4.1). Non-PerStep runs
+// validate the simulated memory against failure-free semantics;
+// PerStep runs collect the per-step measures instead.
+//
+// ctx is accepted for interface symmetry with the other Execute paths;
+// the core executor does not yet take a context, so a simulation is
+// only interruptible between jobs, not mid-run. Simulations are
+// deterministic, so a killed simulation re-runs from scratch on
+// recovery.
+func ExecuteSim(ctx context.Context, spec SimSpec) (SimResult, error) {
+	var res SimResult
+	if err := spec.Validate(); err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+
+	program, checker, err := NewProgram(spec.Program, spec.N, spec.K)
+	if err != nil {
+		return res, err
+	}
+	p := spec.P
+	if p == 0 || p > program.Processors() {
+		p = program.Processors()
+	}
+
+	adv, err := simAdversary(spec)
+	if err != nil {
+		return res, err
+	}
+
+	eng := failstop.EngineVX
+	res.Engine = "vx"
+	if spec.Engine == "x" {
+		eng = failstop.EngineX
+		res.Engine = "x"
+	}
+	res.EngineDisplay = eng.String()
+
+	res.Program = program.Name()
+	res.SimN = program.Processors()
+	res.P = p
+	res.Steps = program.Steps()
+
+	if spec.PerStep {
+		metrics, stepStats, err := core.RunWithStepMetrics(program, p, adv, failstop.Config{}, eng)
+		if err != nil {
+			return res, fmt.Errorf("execute %s: %w", program.Name(), err)
+		}
+		res.Metrics = metrics
+		res.StepStats = stepStats
+		return res, nil
+	}
+
+	out, err := failstop.ExecuteWithEngine(program, p, adv, failstop.Config{}, eng)
+	if err != nil {
+		return res, fmt.Errorf("execute %s: %w", program.Name(), err)
+	}
+	res.Metrics = out.Metrics
+	res.Memory = out.Memory
+	if err := checker.Check(out.Memory); err != nil {
+		return res, fmt.Errorf("output validation failed: %w", err)
+	}
+	res.Validated = true
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// SweepExperiment is one experiment's outcome within a sweep.
+type SweepExperiment struct {
+	// ID is the experiment identifier (e.g. "E6").
+	ID string `json:"id"`
+	// Tables holds the experiment's rendered result tables.
+	Tables []bench.Table `json:"tables"`
+	// Replayed reports that the tables came verbatim from the sweep
+	// journal rather than a fresh run.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// SweepEvent is delivered to SweepOptions.OnResult as each experiment
+// finishes (or replays), in registry order.
+type SweepEvent struct {
+	SweepExperiment
+	// Elapsed is the wall-clock time of a fresh run (zero for a
+	// replay). It is an observation, not part of the result — two
+	// sweeps with identical tables will differ here.
+	Elapsed time.Duration `json:"-"`
+}
+
+// SweepOptions carries per-invocation wiring for ExecuteSweep.
+type SweepOptions struct {
+	// OnResult, if non-nil, observes each experiment as it completes,
+	// in order — the CLI renders tables from it, the job service
+	// streams progress. It runs on the sweep goroutine; a slow callback
+	// slows the sweep.
+	OnResult func(SweepEvent)
+	// Warnf receives degradation notices (a failed journal write). Nil
+	// prints to stderr, matching the historical CLI behavior.
+	Warnf func(format string, args ...any)
+}
+
+func (o SweepOptions) warnf(format string, args ...any) {
+	if o.Warnf != nil {
+		o.Warnf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// SweepResult is the outcome of one experiment sweep.
+type SweepResult struct {
+	// Experiments holds every finished experiment in registry order.
+	Experiments []SweepExperiment `json:"experiments"`
+	// Ran counts experiments that produced tables (fresh or replayed);
+	// Degraded counts sweep points that degraded to error rows.
+	Ran      int `json:"ran"`
+	Degraded int `json:"degraded,omitempty"`
+}
+
+// ExecuteSweep validates spec and drives the experiment sweep the way
+// cmd/experiments always has: journaled experiments replay verbatim on
+// resume, a fresh sweep clears any stale journal, an interrupt keeps
+// every journaled experiment and returns a resumable error, and failed
+// sweep points degrade to Table.Errors rows instead of aborting.
+//
+// Parallelism and the point deadline map onto process-global bench
+// settings; callers running concurrent sweeps in one process must
+// serialize them (internal/jobs does).
+func ExecuteSweep(ctx context.Context, spec SweepSpec, opt SweepOptions) (SweepResult, error) {
+	var res SweepResult
+	if err := spec.Validate(); err != nil {
+		return res, err
+	}
+	bench.SetParallelism(spec.Parallel)
+	bench.SetPointDeadline(spec.Deadline)
+
+	scale := bench.Quick
+	if spec.Full {
+		scale = bench.Full
+	}
+	want := make(map[string]bool)
+	for _, id := range spec.Run {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	var journal *bench.Journal
+	if spec.CheckpointDir != "" {
+		if err := os.MkdirAll(spec.CheckpointDir, 0o755); err != nil {
+			return res, fmt.Errorf("create checkpoint dir: %w", err)
+		}
+		path := filepath.Join(spec.CheckpointDir, "journal.jsonl")
+		if !spec.Resume {
+			// A fresh sweep must not inherit a previous run's journal.
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return res, fmt.Errorf("clear journal: %w", err)
+			}
+		}
+		var err error
+		journal, err = bench.OpenJournal(path)
+		if err != nil {
+			return res, err
+		}
+		defer journal.Close()
+	}
+
+	emit := func(ev SweepEvent) {
+		res.Experiments = append(res.Experiments, ev.SweepExperiment)
+		res.Ran++
+		if opt.OnResult != nil {
+			opt.OnResult(ev)
+		}
+	}
+
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			// Interrupted: everything journaled so far is already synced;
+			// return a resumable error so the driver knows the sweep is
+			// partial.
+			return res, fmt.Errorf("sweep interrupted before %s: %w (journaled experiments are kept; rerun with -resume)", e.ID, err)
+		}
+		key := fmt.Sprintf("%s/scale=%d", e.ID, scale)
+		if journal != nil {
+			var tables []bench.Table
+			if ok, err := journal.Get(key, &tables); err != nil {
+				return res, err
+			} else if ok {
+				emit(SweepEvent{SweepExperiment: SweepExperiment{ID: e.ID, Tables: tables, Replayed: true}})
+				continue
+			}
+		}
+		start := time.Now()
+		tables := e.Run(ctx, scale)
+		bench.ExperimentDone()
+		interrupted := ctx.Err() != nil
+		for i := range tables {
+			res.Degraded += len(tables[i].Errors)
+		}
+		if journal != nil && !interrupted {
+			// A journal entry asserts "this experiment finished"; an
+			// interrupted run's tables are partial, so they must re-run
+			// on resume rather than replay. A failed Put degrades the
+			// journal (this experiment re-runs on resume), not the sweep.
+			if err := journal.Put(key, tables); err != nil {
+				opt.warnf("warning: %v (%s will re-run on -resume)", err, e.ID)
+			}
+		}
+		emit(SweepEvent{SweepExperiment: SweepExperiment{ID: e.ID, Tables: tables}, Elapsed: time.Since(start)})
+		if interrupted {
+			return res, fmt.Errorf("sweep interrupted during %s: %w (partial tables above; rerun with -resume)", e.ID, ctx.Err())
+		}
+	}
+	if res.Ran == 0 {
+		return res, fmt.Errorf("no experiments matched -run=%q; known IDs are E1..E17", strings.Join(spec.Run, ","))
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package jobs
+
+import "sync"
+
+// hub fans one job's event lines out to live subscribers (the daemon's
+// SSE streams). The disk files are the durable record; the hub is pure
+// observability, so a slow subscriber drops lines rather than stalling
+// the run, and closing the hub (job reached a terminal state) closes
+// every subscriber channel.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[int]chan []byte
+	nextID int
+	closed bool
+}
+
+func newHub() *hub { return &hub{subs: make(map[int]chan []byte)} }
+
+// publish delivers one event line to every subscriber, non-blocking.
+func (h *hub) publish(line []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for _, ch := range h.subs {
+		select {
+		case ch <- line:
+		default: // slow subscriber: drop, never stall the run
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns its channel plus an
+// unsubscribe func (safe to call more than once, and after close). On a
+// closed hub the returned channel is already closed.
+func (h *hub) subscribe() (<-chan []byte, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan []byte, 256)
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+	}
+}
+
+// close marks the stream finished and closes every subscriber channel.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+// hubWriter adapts a hub to io.Writer so it can sit behind an
+// io.MultiWriter next to the events file: pram.JSONL issues exactly one
+// Write per event line, so each Write is one published event (sans
+// trailing newline).
+type hubWriter struct{ h *hub }
+
+func (w hubWriter) Write(p []byte) (int, error) {
+	line := p
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	w.h.publish(cp)
+	return len(p), nil
+}

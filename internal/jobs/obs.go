@@ -1,0 +1,82 @@
+package jobs
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// jobsObs holds the process-wide observability hooks of the job layer,
+// following the pram layer's pattern: nil until EnableObs installs one,
+// nil-safe metric methods, so a disabled store pays one atomic load per
+// transition.
+type jobsObs struct {
+	queued    *obs.Gauge
+	running   *obs.Gauge
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	resumed   *obs.Counter
+}
+
+var jobObs atomic.Pointer[jobsObs]
+
+// EnableObs registers the job layer's metrics in r and turns the store
+// hooks on, process-wide. The metric names are the stable obs.Metric*
+// constants (documented in DESIGN.md §11). Enabling twice with the same
+// registry is idempotent.
+func EnableObs(r *obs.Registry) {
+	h := &jobsObs{
+		queued:    r.Gauge(obs.MetricJobsQueued, "jobs waiting in the store's queue"),
+		running:   r.Gauge(obs.MetricJobsRunning, "jobs currently executing"),
+		submitted: r.Counter(obs.MetricJobsSubmitted, "jobs accepted by Submit"),
+		completed: r.Counter(obs.MetricJobsCompleted, "jobs finished in state done"),
+		failed:    r.Counter(obs.MetricJobsFailed, "jobs finished in state failed"),
+		canceled:  r.Counter(obs.MetricJobsCanceled, "jobs finished in state canceled"),
+		resumed:   r.Counter(obs.MetricJobsResumed, "interrupted jobs re-enqueued by crash recovery"),
+	}
+	jobObs.Store(h)
+}
+
+func obsSubmitted() {
+	if h := jobObs.Load(); h != nil {
+		h.submitted.Inc()
+	}
+}
+
+func obsQueuedDelta(d int64) {
+	if h := jobObs.Load(); h != nil {
+		h.queued.Add(d)
+	}
+}
+
+func obsRunningDelta(d int64) {
+	if h := jobObs.Load(); h != nil {
+		h.running.Add(d)
+	}
+}
+
+func obsFinished(st State) {
+	h := jobObs.Load()
+	if h == nil {
+		return
+	}
+	switch st {
+	case StateDone:
+		h.completed.Inc()
+	case StateFailed:
+		h.failed.Inc()
+	case StateCanceled:
+		h.canceled.Inc()
+	}
+}
+
+func obsRecovered() {
+	h := jobObs.Load()
+	if h == nil {
+		return
+	}
+	h.resumed.Inc()
+	h.queued.Add(1)
+}

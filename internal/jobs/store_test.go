@@ -1,0 +1,452 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+)
+
+// runSpec is a deterministic Write-All run long enough to be killed
+// mid-flight: X against the seeded random adversary, checkpointing
+// every 8 ticks.
+func runSpec() Spec {
+	return Spec{Kind: KindRun, Run: &engine.RunSpec{
+		Algorithm:       "X",
+		Adversary:       "random",
+		N:               512,
+		P:               64,
+		Seed:            3,
+		FailProb:        0.2,
+		RestartProb:     0.5,
+		CheckpointEvery: 8,
+	}}
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// waitTerminal polls until id reaches a terminal state.
+func waitTerminal(t *testing.T, s *Store, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		job, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if job.State.Terminal() {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Job{}
+}
+
+// waitStreamClosed subscribes to id and drains until the hub closes —
+// the signal that the worker is done with the job, including the
+// kill path that persists nothing.
+func waitStreamClosed(t *testing.T, s *Store, id string) {
+	t.Helper()
+	ch, stop, err := s.Subscribe(id)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer stop()
+	timeout := time.After(60 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-timeout:
+			t.Fatalf("stream of job %s never closed", id)
+		}
+	}
+}
+
+func TestRunJobCompletes(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Kill()
+
+	job, err := s.Submit(runSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := waitTerminal(t, s, job.ID); got.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", got.State, got.Error)
+	}
+
+	raw, err := s.Result(job.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	var res engine.RunResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result.json: %v", err)
+	}
+	if res.Metrics.Completed < int64(job.Spec.Run.N) {
+		t.Fatalf("completed %d < N %d: run did not finish the task", res.Metrics.Completed, job.Spec.Run.N)
+	}
+
+	events, err := os.ReadFile(filepath.Join(s.jobDir(job.ID), "events.jsonl"))
+	if err != nil {
+		t.Fatalf("events.jsonl: %v", err)
+	}
+	if !strings.Contains(string(events), `"ev":"run"`) {
+		t.Fatalf("events.jsonl has no run event")
+	}
+}
+
+func TestSpecValidateRejectsPathsAndShape(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Kind: KindRun},
+		{Kind: KindRun, Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8}, Sim: &engine.SimSpec{}},
+		{Kind: KindSim, Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8}},
+		{Kind: "bogus", Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8}},
+		{Kind: KindRun, Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8, CSVPath: "/tmp/x.csv"}},
+		{Kind: KindRun, Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8, ReplayPath: "/etc/passwd"}},
+		{Kind: KindRun, Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 8, RestorePath: "x.snap"}},
+		{Kind: KindSweep, Sweep: &engine.SweepSpec{CheckpointDir: "/tmp/j"}},
+		{Kind: KindSweep, Sweep: &engine.SweepSpec{Resume: true}},
+		{Kind: KindRun, Run: &engine.RunSpec{Algorithm: "nope", Adversary: "none", N: 8}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, spec)
+		}
+	}
+	ok := runSpec()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Kill()
+
+	// Saturate the single worker so the second job stays queued.
+	first, err := s.Submit(runSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	second, err := s.Submit(runSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := s.Cancel(second.ID); err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	if job, _ := s.Get(second.ID); job.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", job.State)
+	}
+	if err := s.Cancel(second.ID); !errors.Is(err, ErrState) {
+		t.Fatalf("Cancel terminal: err = %v, want ErrState", err)
+	}
+	waitTerminal(t, s, first.ID)
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Kill()
+
+	job, err := s.Submit(runSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait until it actually starts, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, _ := s.Get(job.ID)
+		if j.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Cancel(job.ID); err != nil {
+		t.Fatalf("Cancel running: %v", err)
+	}
+	if got := waitTerminal(t, s, job.ID); got.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", got.State)
+	}
+}
+
+func TestCloseDrainsAndReopenResumes(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+
+	job, err := s.Submit(runSpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Let it start so the drain interrupts a live run.
+	for {
+		if j, _ := s.Get(job.ID); j.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The drained job must be parked on disk as queued+resume.
+	var onDisk Job
+	if err := readJSON(filepath.Join(dir, "jobs", job.ID, "status.json"), &onDisk); err != nil {
+		t.Fatalf("status.json: %v", err)
+	}
+	if onDisk.State != StateQueued || !onDisk.Resume {
+		t.Fatalf("drained job on disk = %s resume=%v, want queued resume=true", onDisk.State, onDisk.Resume)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Kill()
+	if got := waitTerminal(t, s2, job.ID); got.State != StateDone {
+		t.Fatalf("resumed job state = %s (error %q), want done", got.State, got.Error)
+	}
+}
+
+// TestKillMidRunResumesBitIdentical is the service-level crash drill:
+// a run job is killed mid-flight through the jobs.kill failpoint (disk
+// left saying "running"), the store is reopened, and the recovered job
+// must converge to the same result — with an events.jsonl that is
+// byte-identical to an uninterrupted run's.
+func TestKillMidRunResumesBitIdentical(t *testing.T) {
+	spec := runSpec()
+
+	// Baseline: uninterrupted.
+	baseDir := t.TempDir()
+	base := openStore(t, baseDir)
+	baseJob, err := base.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := waitTerminal(t, base, baseJob.ID); got.State != StateDone {
+		t.Fatalf("baseline state = %s (error %q)", got.State, got.Error)
+	}
+	baseEvents, err := os.ReadFile(filepath.Join(base.jobDir(baseJob.ID), "events.jsonl"))
+	if err != nil {
+		t.Fatalf("baseline events: %v", err)
+	}
+	baseResult, err := base.Result(baseJob.ID)
+	if err != nil {
+		t.Fatalf("baseline result: %v", err)
+	}
+	base.Kill()
+
+	// Chaos: kill after 40 ticks (well past the first checkpoint at 8).
+	reg := faultinject.New(1)
+	reg.Set(KillPoint, faultinject.Spec{Mode: faultinject.Error, After: 40})
+	old := faultinject.Swap(reg)
+	defer faultinject.Swap(old)
+
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// The kill path closes the hub without persisting, so stream close
+	// is the "process died" signal.
+	waitStreamClosed(t, s, job.ID)
+	s.Kill()
+
+	// The crash left the job "running" on disk.
+	var onDisk Job
+	if err := readJSON(filepath.Join(dir, "jobs", job.ID, "status.json"), &onDisk); err != nil {
+		t.Fatalf("status.json: %v", err)
+	}
+	if onDisk.State != StateRunning {
+		t.Fatalf("killed job on disk = %s, want running", onDisk.State)
+	}
+	if reg.Fires(KillPoint) == 0 {
+		t.Fatalf("kill failpoint never fired")
+	}
+
+	// Restart without the failpoint; recovery must resume and finish.
+	faultinject.Swap(old)
+	s2 := openStore(t, dir)
+	defer s2.Kill()
+	got := waitTerminal(t, s2, job.ID)
+	if got.State != StateDone {
+		t.Fatalf("recovered job state = %s (error %q), want done", got.State, got.Error)
+	}
+	if got.Resumes != 1 {
+		t.Fatalf("recovered job resumes = %d, want 1", got.Resumes)
+	}
+
+	events, err := os.ReadFile(filepath.Join(s2.jobDir(job.ID), "events.jsonl"))
+	if err != nil {
+		t.Fatalf("resumed events: %v", err)
+	}
+	if !bytes.Equal(events, baseEvents) {
+		t.Fatalf("resumed events.jsonl differs from uninterrupted baseline: %d vs %d bytes",
+			len(events), len(baseEvents))
+	}
+	result, err := s2.Result(job.ID)
+	if err != nil {
+		t.Fatalf("resumed result: %v", err)
+	}
+	// The results must agree on everything but provenance: the resumed
+	// job records the checkpoint tick it restarted from.
+	var baseRes, res engine.RunResult
+	if err := json.Unmarshal(baseResult, &baseRes); err != nil {
+		t.Fatalf("baseline result.json: %v", err)
+	}
+	if err := json.Unmarshal(result, &res); err != nil {
+		t.Fatalf("resumed result.json: %v", err)
+	}
+	if res.ResumedFromTick == 0 {
+		t.Fatalf("recovered job did not resume from a checkpoint")
+	}
+	res.ResumedFromTick = 0
+	baseJSON, _ := json.Marshal(baseRes)
+	gotJSON, _ := json.Marshal(res)
+	if !bytes.Equal(baseJSON, gotJSON) {
+		t.Fatalf("resumed result differs from baseline:\n%s\nvs\n%s", gotJSON, baseJSON)
+	}
+}
+
+// TestKillMidSweepResumesIdentical kills a sweep job after its second
+// experiment journals, restarts the store, and requires the recovered
+// sweep's tables to match an uninterrupted baseline's (modulo the
+// Replayed markers, which record provenance, not results).
+func TestKillMidSweepResumesIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep jobs run real experiments")
+	}
+	spec := Spec{Kind: KindSweep, Sweep: &engine.SweepSpec{Run: []string{"E1", "E4", "E13"}}}
+
+	baseDir := t.TempDir()
+	base := openStore(t, baseDir)
+	baseJob, err := base.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := waitTerminal(t, base, baseJob.ID); got.State != StateDone {
+		t.Fatalf("baseline state = %s (error %q)", got.State, got.Error)
+	}
+	baseRaw, err := base.Result(baseJob.ID)
+	if err != nil {
+		t.Fatalf("baseline result: %v", err)
+	}
+	base.Kill()
+
+	// Kill after the second experiment (E4) completes and journals.
+	reg := faultinject.New(1)
+	reg.Set(KillPoint, faultinject.Spec{Mode: faultinject.Error, After: 1})
+	old := faultinject.Swap(reg)
+	defer faultinject.Swap(old)
+
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitStreamClosed(t, s, job.ID)
+	s.Kill()
+	var onDisk Job
+	if err := readJSON(filepath.Join(dir, "jobs", job.ID, "status.json"), &onDisk); err != nil {
+		t.Fatalf("status.json: %v", err)
+	}
+	if onDisk.State != StateRunning {
+		t.Fatalf("killed sweep on disk = %s, want running", onDisk.State)
+	}
+
+	faultinject.Swap(old)
+	s2 := openStore(t, dir)
+	defer s2.Kill()
+	got := waitTerminal(t, s2, job.ID)
+	if got.State != StateDone {
+		t.Fatalf("recovered sweep state = %s (error %q), want done", got.State, got.Error)
+	}
+	raw, err := s2.Result(job.ID)
+	if err != nil {
+		t.Fatalf("resumed result: %v", err)
+	}
+
+	var baseRes, res engine.SweepResult
+	if err := json.Unmarshal(baseRaw, &baseRes); err != nil {
+		t.Fatalf("baseline result.json: %v", err)
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("resumed result.json: %v", err)
+	}
+	replayed := 0
+	for i := range res.Experiments {
+		if res.Experiments[i].Replayed {
+			replayed++
+			res.Experiments[i].Replayed = false
+		}
+	}
+	if replayed == 0 {
+		t.Fatalf("recovered sweep replayed nothing: the journal was not used")
+	}
+	baseJSON, _ := json.Marshal(baseRes)
+	gotJSON, _ := json.Marshal(res)
+	if !bytes.Equal(baseJSON, gotJSON) {
+		t.Fatalf("recovered sweep result differs from baseline")
+	}
+}
+
+func TestSimJobCompletes(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Kill()
+
+	job, err := s.Submit(Spec{Kind: KindSim, Sim: &engine.SimSpec{
+		Program: "prefix-sum", N: 64, Adversary: "random", Seed: 2, FailProb: 0.2, RestartProb: 0.5,
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := waitTerminal(t, s, job.ID); got.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", got.State, got.Error)
+	}
+	var res engine.SimResult
+	raw, err := s.Result(job.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("result.json: %v", err)
+	}
+	if !res.Validated {
+		t.Fatalf("sim result not validated: %+v", res)
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := s.Submit(runSpec()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+}

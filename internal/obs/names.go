@@ -47,4 +47,13 @@ const (
 	// faultinject_fires_total{point="..."}.
 	MetricFaultHitsPrefix  = "faultinject_hits_total"
 	MetricFaultFiresPrefix = "faultinject_fires_total"
+
+	// internal/jobs — the run service's queue and lifecycle.
+	MetricJobsQueued    = "jobs_queued"          // jobs waiting in the queue
+	MetricJobsRunning   = "jobs_running"         // jobs currently executing
+	MetricJobsSubmitted = "jobs_submitted_total" // jobs accepted by Submit
+	MetricJobsCompleted = "jobs_completed_total" // jobs finished in state done
+	MetricJobsFailed    = "jobs_failed_total"    // jobs finished in state failed
+	MetricJobsCanceled  = "jobs_canceled_total"  // jobs finished in state canceled
+	MetricJobsResumed   = "jobs_resumed_total"   // interrupted jobs re-enqueued by crash recovery
 )
