@@ -238,13 +238,14 @@ func compare(out io.Writer, old, cur Report, metrics []string, threshold float64
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	fmt.Fprintf(w, "%-60s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
-	regressions := 0
+	regressions, added, removed := 0, 0, 0
 	matched := make(map[string]bool, len(cur.Benchmarks))
 	for _, nb := range cur.Benchmarks {
 		key := benchKey(nb)
 		ob, ok := oldByKey[key]
 		if !ok {
 			fmt.Fprintf(w, "%-60s (new benchmark, no baseline)\n", displayName(nb))
+			added++
 			continue
 		}
 		matched[key] = true
@@ -267,7 +268,15 @@ func compare(out io.Writer, old, cur Report, metrics []string, threshold float64
 	for _, ob := range old.Benchmarks {
 		if !matched[benchKey(ob)] {
 			fmt.Fprintf(w, "%-60s (missing from new report)\n", displayName(ob))
+			removed++
 		}
+	}
+	if added > 0 || removed > 0 {
+		// An explicit summary so suite drift is visible at a glance even
+		// when the per-benchmark table scrolls; uncompared benchmarks
+		// never fail the comparison.
+		fmt.Fprintf(w, "benchjson: %d benchmark(s) added (no baseline), %d removed (baseline only); not compared\n",
+			added, removed)
 	}
 	return regressions
 }
@@ -301,9 +310,11 @@ func relDelta(old, new float64) (float64, string) {
 // run it computes spread = (max-min)/median per metric; spreads beyond
 // maxSpread percent are reported on diag and counted. The returned
 // report carries the per-metric median of each stable benchmark (in
-// first-run order, with the first run's environment lines). Benchmarks
-// missing from some runs are noted but excluded rather than failed, so
-// a -benchtime mismatch surfaces as a shrunken baseline, not a flake.
+// first-run order, then benchmarks first seen in later runs, with the
+// first run's environment lines). Benchmarks missing from any run —
+// including run 1, which an earlier version silently dropped — are
+// noted but excluded rather than failed, so a -benchtime mismatch
+// surfaces as a shrunken baseline, not a flake.
 func gate(diag io.Writer, reports []Report, metrics []string, maxSpread float64) (Report, int) {
 	first := reports[0]
 	median := Report{Goos: first.Goos, Goarch: first.Goarch, CPU: first.CPU, Benchmarks: []Benchmark{}}
@@ -316,16 +327,29 @@ func gate(diag io.Writer, reports []Report, metrics []string, maxSpread float64)
 		}
 	}
 
+	// The union of benchmark keys across every run, in order of first
+	// appearance. Iterating only reports[0] would hide a benchmark that
+	// run 1 skipped but later runs measured.
+	var keys []string
+	repr := make(map[string]Benchmark)
+	for _, rep := range reports {
+		for _, b := range rep.Benchmarks {
+			key := benchKey(b)
+			if _, ok := repr[key]; !ok {
+				repr[key] = b
+				keys = append(keys, key)
+			}
+		}
+	}
+
 	unstable := 0
-	for _, b := range first.Benchmarks {
-		key := benchKey(b)
+	for _, key := range keys {
+		b := repr[key]
 		samples := make([]Benchmark, 0, len(reports))
 		for _, m := range byKey {
-			s, ok := m[key]
-			if !ok {
-				break
+			if s, ok := m[key]; ok {
+				samples = append(samples, s)
 			}
-			samples = append(samples, s)
 		}
 		if len(samples) != len(reports) {
 			fmt.Fprintf(diag, "%-60s (missing from %d of %d runs, excluded)\n",

@@ -128,6 +128,36 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	})
 }
 
+// TestCompareSummarizesAddedRemoved pins the explicit suite-drift
+// summary: benchmarks present in only one report are counted in both
+// directions, not just listed inline (and never fail the comparison).
+func TestCompareSummarizesAddedRemoved(t *testing.T) {
+	metrics := []string{"ns/op"}
+	old := mkReport(
+		[3]any{"BenchmarkA-8", 1000, 0},
+		[3]any{"BenchmarkGone-8", 50, 0},
+	)
+	cur := mkReport(
+		[3]any{"BenchmarkA-8", 1000, 0},
+		[3]any{"BenchmarkNew-8", 10, 0},
+	)
+	var out strings.Builder
+	if got := compare(&out, old, cur, metrics, 25); got != 0 {
+		t.Fatalf("suite drift counted as %d regressions, want 0\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "1 benchmark(s) added (no baseline), 1 removed (baseline only)") {
+		t.Errorf("output missing the added/removed summary:\n%s", out.String())
+	}
+
+	t.Run("no-drift-no-summary", func(t *testing.T) {
+		var out strings.Builder
+		compare(&out, old, old, metrics, 25)
+		if strings.Contains(out.String(), "added") || strings.Contains(out.String(), "removed") {
+			t.Errorf("summary printed for identical suites:\n%s", out.String())
+		}
+	})
+}
+
 func TestGateAcceptsStableRuns(t *testing.T) {
 	metrics := []string{"ns/op", "allocs/op"}
 	runs := []Report{
@@ -185,6 +215,30 @@ func TestGateExcludesPartialBenchmarks(t *testing.T) {
 	}
 	if !strings.Contains(diag.String(), "excluded") {
 		t.Errorf("diagnostics do not note the exclusion:\n%s", diag.String())
+	}
+}
+
+// TestGateReportsBenchmarksAbsentFromFirstRun pins the other direction
+// of partial coverage: a benchmark the first run skipped but later runs
+// measured used to vanish from both the median report and the
+// diagnostics; it must be excluded loudly, like any partial benchmark.
+func TestGateReportsBenchmarksAbsentFromFirstRun(t *testing.T) {
+	metrics := []string{"ns/op"}
+	runs := []Report{
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}),
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}, [3]any{"BenchmarkLate-8", 7, 0}),
+		mkReport([3]any{"BenchmarkA-8", 1000, 0}, [3]any{"BenchmarkLate-8", 8, 0}),
+	}
+	var diag strings.Builder
+	median, unstable := gate(&diag, runs, metrics, 10)
+	if unstable != 0 {
+		t.Fatalf("missing benchmark counted as instability:\n%s", diag.String())
+	}
+	if len(median.Benchmarks) != 1 || !strings.Contains(median.Benchmarks[0].Name, "BenchmarkA") {
+		t.Fatalf("median report = %+v, want only BenchmarkA", median.Benchmarks)
+	}
+	if !strings.Contains(diag.String(), "BenchmarkLate") || !strings.Contains(diag.String(), "excluded") {
+		t.Errorf("diagnostics do not report the benchmark absent from run 1:\n%s", diag.String())
 	}
 }
 

@@ -24,6 +24,8 @@ func TestFlagGridMapsToValidSpecs(t *testing.T) {
 		{"-snapshot", "run.snap", "-snapshot-every", "64", "-record", "pat.json"},
 		{"-replay", "pat.json"},
 		{"-restore", "run.snap"},
+		{"-packed", "-batch", "64"},
+		{"-packed", "-batch", "4096", "-snapshot", "run.snap", "-snapshot-every", "128"},
 	}
 	for _, alg := range engine.Algorithms() {
 		for _, adv := range engine.Adversaries() {

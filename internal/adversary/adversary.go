@@ -10,7 +10,12 @@
 // package writeall.
 package adversary
 
-import "repro/internal/pram"
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pram"
+)
 
 // None is the failure-free adversary.
 type None struct{}
@@ -21,7 +26,12 @@ func (None) Name() string { return "none" }
 // Decide implements pram.Adversary: no failures, no restarts.
 func (None) Decide(*pram.View) pram.Decision { return pram.Decision{} }
 
+// QuiescentFor implements pram.Quiescence: the failure-free adversary
+// is quiescent and stateless forever.
+func (None) QuiescentFor(int) int { return math.MaxInt / 2 }
+
 var _ pram.Adversary = None{}
+var _ pram.Quiescence = None{}
 
 // EventKind tags a scheduled failure-pattern event.
 type EventKind int
@@ -46,6 +56,7 @@ type Event struct {
 // (non-adaptive) adversary: the pattern is chosen before the run.
 type Scheduled struct {
 	byTick map[int][]Event
+	ticks  []int // sorted unique event ticks, for QuiescentFor
 }
 
 // NewScheduled builds a replay adversary from a pattern. Events with the
@@ -55,7 +66,12 @@ func NewScheduled(pattern []Event) *Scheduled {
 	for _, e := range pattern {
 		byTick[e.Tick] = append(byTick[e.Tick], e)
 	}
-	return &Scheduled{byTick: byTick}
+	ticks := make([]int, 0, len(byTick))
+	for t := range byTick {
+		ticks = append(ticks, t)
+	}
+	sort.Ints(ticks)
+	return &Scheduled{byTick: byTick, ticks: ticks}
 }
 
 // Name implements pram.Adversary.
@@ -83,4 +99,16 @@ func (s *Scheduled) Decide(v *pram.View) pram.Decision {
 	return dec
 }
 
+// QuiescentFor implements pram.Quiescence: the gap to the pattern's
+// next scheduled event tick. Decide is a pure lookup, so skipping it
+// over the gap is invisible.
+func (s *Scheduled) QuiescentFor(t int) int {
+	i := sort.SearchInts(s.ticks, t)
+	if i == len(s.ticks) {
+		return math.MaxInt / 2
+	}
+	return s.ticks[i] - t
+}
+
 var _ pram.Adversary = (*Scheduled)(nil)
+var _ pram.Quiescence = (*Scheduled)(nil)

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/pram"
@@ -72,6 +73,20 @@ func (r *Random) Decide(v *pram.View) pram.Decision {
 	return dec
 }
 
+// QuiescentFor implements pram.Quiescence. A budgeted adversary whose
+// event budget is exhausted is quiescent forever — and, crucially,
+// Decide then draws nothing from the random stream (the loop breaks
+// before any draw), so skipping Decide is invisible even to
+// SnapshotState's (seed, draws) capture. With budget remaining it
+// reports 0: Decide consumes one draw per live or dead processor every
+// tick, even at zero probabilities, so no tick may be skipped.
+func (r *Random) QuiescentFor(int) int {
+	if r.MaxEvents > 0 && r.events >= r.MaxEvents {
+		return math.MaxInt / 2
+	}
+	return 0
+}
+
 // Events reports how many failure/restart events the adversary has issued.
 // The machine may have ignored some (e.g. liveness vetoes), so the metrics
 // are authoritative; this is a convenience for tests.
@@ -105,3 +120,4 @@ func (r *Random) point() pram.FailPoint {
 
 var _ pram.Adversary = (*Random)(nil)
 var _ pram.Snapshotter = (*Random)(nil)
+var _ pram.Quiescence = (*Random)(nil)

@@ -41,6 +41,16 @@ func (r *Recorder) Decide(v *pram.View) pram.Decision {
 	return dec
 }
 
+// QuiescentFor implements pram.Quiescence by delegating to the wrapped
+// adversary. A skipped Decide records nothing, which is exactly right:
+// the inner adversary would have decided nothing on those ticks.
+func (r *Recorder) QuiescentFor(t int) int {
+	if q, ok := r.inner.(pram.Quiescence); ok {
+		return q.QuiescentFor(t)
+	}
+	return 0
+}
+
 // Pattern returns a copy of the recorded failure pattern.
 func (r *Recorder) Pattern() []Event {
 	out := make([]Event, len(r.pattern))

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness that regenerates, for every
 // theorem, lemma, corollary and example in the paper's evaluation, the
 // quantitative shape it claims (growth exponents, crossovers, ratios).
-// DESIGN.md's per-experiment index maps each experiment (E1-E17) to its
+// DESIGN.md's per-experiment index maps each experiment (E1-E18) to its
 // paper claim; EXPERIMENTS.md records paper-vs-measured results.
 package bench
 
@@ -149,6 +149,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "open question: W vs V without restarts", Run: E15WvsV},
 		{ID: "E16", Title: "load balance: V's allocation vs X's local search", Run: E16LoadBalance},
 		{ID: "E17", Title: "update-cycle budget audit (Section 5 open problem)", Run: E17CycleAudit},
+		{ID: "E18", Title: "word-packed memory + batched tick kernel at N=1e7-1e8", Run: E18PackedBatch},
 	}
 }
 

@@ -69,8 +69,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistryIsCompleteAndOrdered(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("len(All()) = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("len(All()) = %d, want 18", len(all))
 	}
 	seen := make(map[string]bool, len(all))
 	for i, e := range all {

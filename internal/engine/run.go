@@ -127,7 +127,7 @@ func ExecuteRun(ctx context.Context, spec RunSpec, opt RunOptions) (RunResult, e
 		spec.P = spec.N
 	}
 
-	cfg := failstop.Config{N: spec.N, P: spec.P, MaxTicks: spec.MaxTicks}
+	cfg := failstop.Config{N: spec.N, P: spec.P, MaxTicks: spec.MaxTicks, Packed: spec.Packed}
 	if spec.Workers != 0 {
 		cfg.Kernel = pram.ParallelKernel
 		cfg.Workers = spec.Workers // non-positive means GOMAXPROCS
@@ -208,7 +208,7 @@ func ExecuteRun(ctx context.Context, spec RunSpec, opt RunOptions) (RunResult, e
 	if every <= 0 {
 		every = DefaultCheckpointEvery
 	}
-	runner := &pram.Runner{CheckpointPath: spec.CheckpointPath, CheckpointEvery: every, Log: opt.Logf}
+	runner := &pram.Runner{CheckpointPath: spec.CheckpointPath, CheckpointEvery: every, BatchTicks: spec.BatchTicks, Log: opt.Logf}
 	defer runner.Close()
 
 	res.Algorithm = alg.Name()

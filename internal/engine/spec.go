@@ -54,6 +54,15 @@ type RunSpec struct {
 	// else the parallel kernel with that many workers (negative =
 	// GOMAXPROCS), matching cmd/writeall's -parallel flag.
 	Workers int `json:"workers,omitempty"`
+	// Packed opts into the bit-packed shared-memory layout for the
+	// algorithm's Write-All prefix (Config.Packed); observationally
+	// identical, ~64x smaller for binary-cell algorithms at N=10⁷-10⁸.
+	Packed bool `json:"packed,omitempty"`
+	// BatchTicks, when > 1, drives the run through the batched tick
+	// kernel (Runner.BatchTicks): up to that many ticks advance per
+	// round of bookkeeping while the adversary is quiescent, falling
+	// back to per-tick stepping otherwise. 0 or 1 steps per tick.
+	BatchTicks int `json:"batch_ticks,omitempty"`
 
 	// CSVPath, when set, writes the per-tick CSV profile there.
 	CSVPath string `json:"csv,omitempty"`
@@ -112,6 +121,9 @@ func (s RunSpec) Validate() error {
 	}
 	if s.MaxTicks < 0 {
 		return fmt.Errorf("run spec: max ticks must be non-negative, got %d", s.MaxTicks)
+	}
+	if s.BatchTicks < 0 {
+		return fmt.Errorf("run spec: batch ticks must be non-negative, got %d", s.BatchTicks)
 	}
 	if s.TraceSample < 0 {
 		return fmt.Errorf("run spec: trace sample must be non-negative, got %d", s.TraceSample)

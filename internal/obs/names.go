@@ -17,6 +17,7 @@ const (
 	MetricViolations = "pram_violations_total"        // adversary contract violations recorded
 	MetricRuns       = "pram_runs_total"              // runs terminated (success or error)
 	MetricRunErrors  = "pram_run_errors_total"        // runs terminated with an error
+	MetricBatches    = "pram_batches_total"           // quiet windows committed by TickBatch
 
 	// Live position of the most recent machine to finish a tick. With
 	// concurrent machines (a parallel sweep) these are last-writer-wins
@@ -25,6 +26,7 @@ const (
 	MetricDoneCells     = "pram_done_cells"           // Write-All cells tracked by the done hint (0 = no hint)
 	MetricDoneRemaining = "pram_done_remaining"       // hinted cells still unset
 	MetricSigmaMilli    = "pram_overhead_sigma_milli" // live σ = S/(N+|F|) of the latest machine, ×1000
+	MetricBatchWindow   = "pram_batch_window_ticks"   // ticks advanced by the latest quiet window
 
 	// pram.Runner — checkpointing.
 	MetricCheckpoints         = "pram_checkpoints_total"          // checkpoints saved

@@ -83,6 +83,67 @@ func BenchmarkSteadyStateTick(b *testing.B) {
 	}
 }
 
+// bigNMachine builds a Write-All-scale hinted machine (spinFill keeps
+// the run in steady state forever) for the N >= 1e7 tick benchmarks.
+// MaxTicks is raised far beyond b.N: the default 1<<26 budget is smaller
+// than the iteration counts these benchmarks reach.
+func bigNMachine(tb testing.TB, n, p int, packed bool) *Machine {
+	tb.Helper()
+	m, err := New(Config{N: n, P: p, Packed: packed, MaxTicks: 1 << 60}, spinFill{}, quietAdv{})
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// BenchmarkSteadyStateTickBigN is the tentpole measurement at Write-All
+// production scale: per-tick cost at N = 10⁷ with P = 1024, per-tick
+// stepping on unpacked memory (serial-step) versus the bit-packed layout
+// driven through TickBatch quiet windows (packed-batch). The packed-batch
+// row amortizes the per-tick bookkeeping over completion-distance-sized
+// windows (~N/(2P) ticks), so its ns/op must be at least an order of
+// magnitude below serial-step's; BENCH_pr8.json pins that ratio. The
+// n=1e8 row runs packed only — unpacked at that size would allocate
+// 800 MB for cells the packed layout keeps in 12.5 MB of bit words.
+func BenchmarkSteadyStateTickBigN(b *testing.B) {
+	const p = 1024
+	b.Run("serial-step/n=1e7/p=1024", func(b *testing.B) {
+		m := bigNMachine(b, 1e7, p, false)
+		defer m.Close()
+		for i := 0; i < 4; i++ {
+			stepOnce(b, m)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stepOnce(b, m)
+		}
+	})
+	for _, n := range []int{1e7, 1e8} {
+		name := fmt.Sprintf("packed-batch/n=1e%d/p=1024", len(fmt.Sprint(n))-1)
+		b.Run(name, func(b *testing.B) {
+			m := bigNMachine(b, n, p, true)
+			defer m.Close()
+			if _, _, err := m.TickBatch(256); err != nil { // warm up scratch state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for ticks := 0; ticks < b.N; {
+				k := b.N - ticks
+				if k > 4096 {
+					k = 4096
+				}
+				ran, done, err := m.TickBatch(k)
+				if err != nil || done {
+					b.Fatalf("TickBatch: ran=%d done=%v err=%v", ran, done, err)
+				}
+				ticks += ran
+			}
+		})
+	}
+}
+
 // BenchmarkKernelCrossover pins the serial/parallel crossover that the
 // adaptive kernel navigates: steady-state tick cost for each engine at
 // P from well below the shard size to well above it. The regression this

@@ -58,6 +58,16 @@ type Config struct {
 	// to check the counter against the polled oracle; ordinary runs
 	// leave it false.
 	DisableDoneHint bool
+	// Packed opts the run into the bit-packed shared-memory layout: the
+	// Write-All prefix the algorithm volunteers through ArrayDoneHinter
+	// is stored one bit per cell, 64 cells per word, cutting the N=10⁷-
+	// 10⁸ footprint 64× and letting batch fills run a word per op. The
+	// packing is observationally invisible — runs are bit-identical to
+	// the unpacked layout (a non-binary store into the packed prefix
+	// promotes the memory back to one Word per cell; see Memory). It is
+	// independent of DisableDoneHint and a no-op for algorithms without
+	// an array hint.
+	Packed bool
 	// Workers is the ParallelKernel worker count; non-positive means
 	// GOMAXPROCS. Ignored by SerialKernel.
 	Workers int
@@ -160,6 +170,10 @@ type Machine struct {
 	sched    []bool
 	writeBuf []taggedWrite
 	readBuf  []int
+	// bctx is the reused batch-cycle context handed to BatchCycler
+	// processors by TickBatch's quiet-window path; a machine field so
+	// steady-state batched runs stay allocation-free.
+	bctx BatchCtx
 
 	// failBuf is the per-PID resolution of the adversary's failure map,
 	// rebuilt each tick the map is non-empty; failDirty tracks whether it
@@ -275,10 +289,9 @@ func (m *Machine) Reset(cfg Config, alg Algorithm, adv Adversary) error {
 
 	size := alg.MemorySize(cfg.N, p)
 	if m.mem == nil {
-		m.mem = NewMemory(size)
-	} else {
-		m.mem.Reset(size)
+		m.mem = &Memory{}
 	}
+	m.mem.ResetPacked(size, m.packedLen(size))
 	alg.Setup(m.mem, cfg.N, p)
 
 	view := m.mem.View()
@@ -374,6 +387,26 @@ func (m *Machine) nextProcessor(pid int, sameAlg bool) Processor {
 	return m.alg.NewProcessor(pid, m.cfg.N, m.cfg.P)
 }
 
+// packedLen resolves the bit-packed prefix length for a run: the
+// ArrayDoneHinter prefix when Config.Packed asks for packing (the cells
+// of an array-style Done predicate are exactly the ones that only ever
+// hold 0 or 1 in a well-behaved run), zero otherwise. Unlike the done
+// hint itself, packing ignores DisableDoneHint — the two are orthogonal.
+func (m *Machine) packedLen(size int) int {
+	if !m.cfg.Packed {
+		return 0
+	}
+	h, ok := m.alg.(ArrayDoneHinter)
+	if !ok {
+		return 0
+	}
+	k := h.DoneCells(m.cfg.N, m.cfg.P)
+	if k <= 0 || k > size {
+		return 0
+	}
+	return k
+}
+
 // initDoneHint arms the incremental Done counter when the algorithm
 // volunteers an array hint and the config does not veto it. The counter
 // starts from the post-Setup memory so Setup writes are accounted.
@@ -391,11 +424,7 @@ func (m *Machine) initDoneHint() {
 		return
 	}
 	m.hintLen = k
-	for addr := 0; addr < k; addr++ {
-		if m.mem.Load(addr) == 0 {
-			m.remaining++
-		}
-	}
+	m.remaining = m.mem.zerosIn(0, k)
 }
 
 // store commits one word to shared memory, maintaining the incremental

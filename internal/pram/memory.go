@@ -1,68 +1,270 @@
 package pram
 
+import "math/bits"
+
 // Memory is the reliable shared memory of the machine. Failures never
 // corrupt it; word writes are atomic (the paper assumes atomic writes of
 // O(log max{N,P})-bit words, Section 2.1).
+//
+// Two backing representations coexist behind the Load/Store API. The
+// default stores one Word per cell. A packed memory additionally keeps a
+// prefix [0, packLen) of the address space as one bit per cell, 64 cells
+// per uint64 word — the natural layout for the paper's Write-All array,
+// whose cells only ever hold 0 or 1. Packing is transparent: loads and
+// stores translate addresses, and storing a value outside {0, 1} into
+// the packed prefix promotes the whole memory to the unpacked layout
+// (see promote), so packing can never change what a program observes.
 type Memory struct {
+	// cells holds the unpacked cells: the whole memory when packLen is
+	// zero, otherwise the tail [packLen, Size()) shifted down by packLen.
 	cells []Word
+	// packLen is the length of the bit-packed prefix (0 = unpacked).
+	packLen int
+	// bits holds the packed prefix, cell addr at bits[addr>>6] bit
+	// addr&63. Bits at positions >= packLen are always zero.
+	bits []uint64
 }
 
-// NewMemory returns a zeroed shared memory of the given size. The paper's
-// convention is that the N input cells are stored first and the rest of the
-// memory is cleared.
+// NewMemory returns a zeroed, unpacked shared memory of the given size.
+// The paper's convention is that the N input cells are stored first and
+// the rest of the memory is cleared.
 func NewMemory(size int) *Memory {
 	return &Memory{cells: make([]Word, size)}
 }
 
-// Reset resizes the memory to size cells and zeroes all of them, reusing
-// the existing allocation when its capacity suffices. Outstanding
-// MemoryView values stay valid either way (they hold the *Memory, not the
-// backing slice). Machine.Reset uses it to recycle shared memory across
-// pooled runs.
-func (m *Memory) Reset(size int) {
-	if cap(m.cells) < size {
-		m.cells = make([]Word, size)
-		return
+// Reset resizes the memory to size unpacked cells and zeroes all of
+// them, reusing the existing allocations when capacity suffices.
+// Outstanding MemoryView values stay valid either way (they hold the
+// *Memory, not the backing slices). Machine.Reset uses it to recycle
+// shared memory across pooled runs.
+func (m *Memory) Reset(size int) { m.ResetPacked(size, 0) }
+
+// ResetPacked resizes the memory to size zeroed cells with the prefix
+// [0, packLen) bit-packed (packLen is clamped to [0, size]), reusing
+// existing allocations when capacity suffices.
+func (m *Memory) ResetPacked(size, packLen int) {
+	if packLen < 0 {
+		packLen = 0
 	}
-	m.cells = m.cells[:size]
-	clear(m.cells)
+	if packLen > size {
+		packLen = size
+	}
+	m.packLen = packLen
+	nw := (packLen + 63) / 64
+	if cap(m.bits) < nw {
+		m.bits = make([]uint64, nw)
+	} else {
+		m.bits = m.bits[:nw]
+		clear(m.bits)
+	}
+	nc := size - packLen
+	if cap(m.cells) < nc {
+		m.cells = make([]Word, nc)
+	} else {
+		m.cells = m.cells[:nc]
+		clear(m.cells)
+	}
 }
 
 // Size returns the number of addressable cells.
-func (m *Memory) Size() int { return len(m.cells) }
+func (m *Memory) Size() int { return m.packLen + len(m.cells) }
+
+// PackedLen returns the length of the bit-packed prefix (0 = unpacked).
+func (m *Memory) PackedLen() int { return m.packLen }
 
 // Load returns the value at addr.
-func (m *Memory) Load(addr int) Word { return m.cells[addr] }
-
-// Store sets the value at addr.
-func (m *Memory) Store(addr int, v Word) { m.cells[addr] = v }
-
-// CopyInto copies the whole memory into dst, growing it if needed, and
-// returns the destination slice. It backs the unit-cost snapshot
-// instruction used by the oblivious algorithm of Theorem 3.2.
-func (m *Memory) CopyInto(dst []Word) []Word {
-	if cap(dst) < len(m.cells) {
-		dst = make([]Word, len(m.cells))
+func (m *Memory) Load(addr int) Word {
+	if addr < m.packLen {
+		return Word(m.bits[uint(addr)>>6] >> (uint(addr) & 63) & 1)
 	}
-	dst = dst[:len(m.cells)]
-	copy(dst, m.cells)
+	return m.cells[addr-m.packLen]
+}
+
+// Store sets the value at addr. Storing a value outside {0, 1} into the
+// packed prefix promotes the memory to the unpacked layout first.
+func (m *Memory) Store(addr int, v Word) {
+	if addr < m.packLen {
+		if v&^1 == 0 {
+			mask := uint64(1) << (uint(addr) & 63)
+			if v != 0 {
+				m.bits[uint(addr)>>6] |= mask
+			} else {
+				m.bits[uint(addr)>>6] &^= mask
+			}
+			return
+		}
+		m.promote()
+	}
+	m.cells[addr-m.packLen] = v
+}
+
+// promote converts the memory to the unpacked layout, preserving every
+// cell's logical value. It is the safety valve that keeps packing
+// universally correct: algorithms that write non-binary values into the
+// Write-All array (X-in-place builds its tree there) silently fall back
+// to one Word per cell and continue unchanged.
+func (m *Memory) promote() {
+	if m.packLen == 0 {
+		return
+	}
+	cells := make([]Word, m.Size())
+	for wi, word := range m.bits {
+		base := wi << 6
+		for word != 0 {
+			cells[base+bits.TrailingZeros64(word)] = 1
+			word &= word - 1
+		}
+	}
+	copy(cells[m.packLen:], m.cells)
+	m.cells = cells
+	m.packLen = 0
+	m.bits = m.bits[:0]
+}
+
+// fillOnesPacked sets every cell in [lo, hi) of the packed prefix to 1
+// with whole-word ORs and returns how many cells flipped from 0 to 1
+// (via popcount, so callers can maintain zero-counts exactly, once per
+// word rather than once per cell). The caller guarantees
+// 0 <= lo <= hi <= packLen.
+func (m *Memory) fillOnesPacked(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		mask := loMask & hiMask
+		old := m.bits[loW]
+		m.bits[loW] = old | mask
+		return bits.OnesCount64(mask &^ old)
+	}
+	old := m.bits[loW]
+	m.bits[loW] = old | loMask
+	newly := bits.OnesCount64(loMask &^ old)
+	for w := loW + 1; w < hiW; w++ {
+		newly += bits.OnesCount64(^m.bits[w])
+		m.bits[w] = ^uint64(0)
+	}
+	old = m.bits[hiW]
+	m.bits[hiW] = old | hiMask
+	return newly + bits.OnesCount64(hiMask&^old)
+}
+
+// zerosIn counts the zero cells in [lo, hi): popcount over the packed
+// prefix, a scan over the unpacked tail. It backs the done-hint counter
+// initialization, replacing the per-cell loop.
+func (m *Memory) zerosIn(lo, hi int) int {
+	zeros := 0
+	if lo < m.packLen {
+		pe := min(hi, m.packLen)
+		loW, hiW := lo>>6, (pe-1)>>6
+		loMask := ^uint64(0) << (uint(lo) & 63)
+		hiMask := ^uint64(0) >> (63 - (uint(pe-1) & 63))
+		if pe > lo {
+			if loW == hiW {
+				zeros += bits.OnesCount64(loMask & hiMask &^ m.bits[loW])
+			} else {
+				zeros += bits.OnesCount64(loMask &^ m.bits[loW])
+				for w := loW + 1; w < hiW; w++ {
+					zeros += bits.OnesCount64(^m.bits[w])
+				}
+				zeros += bits.OnesCount64(hiMask &^ m.bits[hiW])
+			}
+		}
+		lo = pe
+	}
+	for ; lo < hi; lo++ {
+		if m.cells[lo-m.packLen] == 0 {
+			zeros++
+		}
+	}
+	return zeros
+}
+
+// CopyInto copies the whole memory, materialized to one Word per cell,
+// into dst, growing it if needed, and returns the destination slice. It
+// backs the unit-cost snapshot instruction used by the oblivious
+// algorithm of Theorem 3.2.
+func (m *Memory) CopyInto(dst []Word) []Word {
+	size := m.Size()
+	if cap(dst) < size {
+		dst = make([]Word, size)
+	}
+	dst = dst[:size]
+	clear(dst[:m.packLen])
+	for wi, word := range m.bits {
+		base := wi << 6
+		for word != 0 {
+			dst[base+bits.TrailingZeros64(word)] = 1
+			word &= word - 1
+		}
+	}
+	copy(dst[m.packLen:], m.cells)
 	return dst
 }
 
-// Restore replaces the entire memory contents with src, resizing to
-// len(src) and reusing the existing allocation when its capacity
-// suffices. Machine.RestoreSnapshot uses it to reinstate a checkpointed
-// memory image.
+// Restore replaces the entire memory contents with the materialized
+// image src, resizing to len(src). A matching-size packed memory keeps
+// its layout (values are re-stored logically, promoting if src holds a
+// non-binary value in the packed prefix); a size change resets to the
+// unpacked layout. Machine.RestoreSnapshot uses it to reinstate a
+// checkpointed memory image.
 func (m *Memory) Restore(src []Word) {
-	if cap(m.cells) < len(src) {
-		m.cells = make([]Word, len(src))
+	if len(src) != m.Size() {
+		m.ResetPacked(len(src), 0)
 	}
-	m.cells = m.cells[:len(src)]
-	copy(m.cells, src)
+	if m.packLen == 0 {
+		copy(m.cells, src)
+		return
+	}
+	clear(m.bits)
+	clear(m.cells)
+	for addr, v := range src {
+		if v != 0 {
+			m.Store(addr, v)
+		}
+	}
 }
 
-// Slice returns a read-only view of a region [start, start+n). The caller
-// must not modify the returned slice; it aliases machine state.
+// RestoreParts reinstates a snapshot captured in representation form:
+// a bit-packed prefix of srcPackLen cells in srcBits plus the unpacked
+// tail srcTail (srcPackLen == 0 means srcTail is the whole memory). The
+// memory is reset to size srcPackLen+len(srcTail) with its own prefix
+// [0, packLen) packed; when the layouts coincide the words are copied
+// directly, otherwise every non-zero cell is re-stored logically (which
+// promotes if the source holds non-binary values in this memory's
+// packed prefix — e.g. a snapshot taken after the source machine itself
+// promoted).
+func (m *Memory) RestoreParts(packLen, srcPackLen int, srcBits []uint64, srcTail []Word) {
+	m.ResetPacked(srcPackLen+len(srcTail), packLen)
+	if srcPackLen == m.packLen {
+		copy(m.bits, srcBits)
+		copy(m.cells, srcTail)
+		return
+	}
+	for wi, word := range srcBits {
+		base := wi << 6
+		for word != 0 {
+			m.Store(base+bits.TrailingZeros64(word), 1)
+			word &= word - 1
+		}
+	}
+	for i, v := range srcTail {
+		if v != 0 {
+			m.Store(srcPackLen+i, v)
+		}
+	}
+}
+
+// Slice returns a copy of the region [start, start+n). The copy is
+// deliberate: an alias into live shared memory would let callers mutate
+// machine state (or observe packed cells at the wrong width) through a
+// stale slice. Use Load for single cells or CopyInto to reuse a buffer.
 func (m *Memory) Slice(start, n int) []Word {
-	return m.cells[start : start+n]
+	out := make([]Word, n)
+	for i := range out {
+		out[i] = m.Load(start + i)
+	}
+	return out
 }

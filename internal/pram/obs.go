@@ -26,10 +26,13 @@ type machineObs struct {
 	runs       *obs.Counter
 	runErrors  *obs.Counter
 
+	batches *obs.Counter
+
 	tick          *obs.Gauge
 	doneCells     *obs.Gauge
 	doneRemaining *obs.Gauge
 	sigmaMilli    *obs.Gauge
+	batchWindow   *obs.Gauge
 
 	checkpoints   *obs.Counter
 	checkpointGen *obs.Gauge
@@ -61,10 +64,13 @@ func EnableObs(r *obs.Registry) {
 		runs:       r.Counter(obs.MetricRuns, "machine runs terminated, successfully or not"),
 		runErrors:  r.Counter(obs.MetricRunErrors, "machine runs terminated with an error"),
 
+		batches: r.Counter(obs.MetricBatches, "quiet windows committed by TickBatch"),
+
 		tick:          r.Gauge(obs.MetricTick, "current tick of the latest machine to finish a step"),
 		doneCells:     r.Gauge(obs.MetricDoneCells, "Write-All cells tracked by the done hint (0 = no hint)"),
 		doneRemaining: r.Gauge(obs.MetricDoneRemaining, "hinted cells still unset in the latest machine"),
 		sigmaMilli:    r.Gauge(obs.MetricSigmaMilli, "overhead ratio sigma = S/(N+|F|) of the latest machine, x1000 (Definition 2.3)"),
+		batchWindow:   r.Gauge(obs.MetricBatchWindow, "ticks advanced by the latest committed quiet window"),
 
 		checkpoints:   r.Counter(obs.MetricCheckpoints, "checkpoints saved by Runners"),
 		checkpointGen: r.Gauge(obs.MetricCheckpointGen, "tick of the newest saved checkpoint"),
@@ -105,6 +111,29 @@ func (m *Machine) obsTick(before Metrics) {
 	} else {
 		h.doneCells.Set(0)
 		h.doneRemaining.Set(0)
+	}
+	if den := int64(m.metrics.N) + m.metrics.FSize(); den > 0 {
+		h.sigmaMilli.Set(m.metrics.Completed * 1000 / den)
+	}
+}
+
+// obsBatch publishes one committed quiet window's accounting: ticks and
+// completed cycles are added in bulk (a window is failure-free, so the
+// failure/restart/veto deltas are zero by construction) and the window
+// size feeds the batch-window gauge.
+func (m *Machine) obsBatch(ticks int, before Metrics) {
+	h := machObs.Load()
+	if h == nil {
+		return
+	}
+	h.ticks.Add(int64(ticks))
+	h.completed.Add(m.metrics.Completed - before.Completed)
+	h.batches.Inc()
+	h.batchWindow.Set(int64(ticks))
+	h.tick.Set(int64(m.tick))
+	if m.hintLen > 0 {
+		h.doneCells.Set(int64(m.hintLen))
+		h.doneRemaining.Set(int64(m.remaining))
 	}
 	if den := int64(m.metrics.N) + m.metrics.FSize(); den > 0 {
 		h.sigmaMilli.Set(m.metrics.Completed * 1000 / den)

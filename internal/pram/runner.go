@@ -28,6 +28,13 @@ type Runner struct {
 	CheckpointEvery int
 	// CheckpointPath is the checkpoint file location; see CheckpointEvery.
 	CheckpointPath string
+	// BatchTicks, when > 1, drives runs through Machine.TickBatch in
+	// chunks of up to BatchTicks ticks, amortizing per-tick bookkeeping
+	// over quiescent stretches (see TickBatch for the exact fallback
+	// rules; runs remain tick-for-tick equivalent to per-tick stepping).
+	// Checkpoint boundaries cap the chunk so checkpoints land on the
+	// same ticks they would per-tick.
+	BatchTicks int
 	// Log receives human-readable notices the Runner emits when it
 	// degrades gracefully — falling back to the previous checkpoint,
 	// flushing a final checkpoint on cancellation. Nil means log.Printf.
@@ -111,6 +118,9 @@ func (r *Runner) ResumeLatestCtx(ctx context.Context, cfg Config, alg Algorithm,
 
 // runCtx drives m to completion, checkpointing and honoring ctx.
 func (r *Runner) runCtx(ctx context.Context, m *Machine) (Metrics, error) {
+	if r.BatchTicks > 1 {
+		return r.runBatchCtx(ctx, m)
+	}
 	if r.CheckpointEvery <= 0 || r.CheckpointPath == "" {
 		return m.RunCtx(ctx)
 	}
@@ -137,6 +147,53 @@ func (r *Runner) runCtx(ctx context.Context, m *Machine) (Metrics, error) {
 			return m.Metrics(), nil
 		}
 		if m.Tick() >= next {
+			if err := r.checkpoint(m); err != nil {
+				return m.Metrics(), err
+			}
+			next = m.Tick() + r.CheckpointEvery
+		}
+	}
+}
+
+// runBatchCtx drives m to completion through TickBatch in BatchTicks
+// chunks. Cancellation is polled once per chunk (a chunk is bounded, so
+// the poll stays off the per-tick hot path); with checkpointing
+// configured, chunks are capped at the next checkpoint boundary so
+// checkpoints land on the same ticks a per-tick run would produce.
+func (r *Runner) runBatchCtx(ctx context.Context, m *Machine) (Metrics, error) {
+	done := ctx.Done()
+	checkpointing := r.CheckpointEvery > 0 && r.CheckpointPath != ""
+	next := m.Tick() + r.CheckpointEvery
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				if checkpointing {
+					if err := r.checkpoint(m); err != nil {
+						r.logf("pram: final checkpoint on cancel failed: %v", err)
+					}
+				}
+				return m.Metrics(), fmt.Errorf("pram: run canceled at tick %d: %w", m.Tick(), ctx.Err())
+			default:
+			}
+		}
+		k := r.BatchTicks
+		if checkpointing {
+			if rem := next - m.Tick(); rem < k {
+				k = rem
+			}
+		}
+		if k < 1 {
+			k = 1
+		}
+		_, finished, err := m.TickBatch(k)
+		if err != nil {
+			return m.Metrics(), err
+		}
+		if finished {
+			return m.Metrics(), nil
+		}
+		if checkpointing && m.Tick() >= next {
 			if err := r.checkpoint(m); err != nil {
 				return m.Metrics(), err
 			}

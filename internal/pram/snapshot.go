@@ -59,19 +59,35 @@ type Snapshot struct {
 	Tick    int
 	Metrics Metrics
 
-	// Mem is the full shared memory; States and Stables the per-PID
-	// liveness and stable action counters; Procs the per-PID private
-	// state of live processors (nil for dead/halted PIDs).
+	// Mem is the shared memory: the full memory when PackedLen is zero,
+	// otherwise only the unpacked tail [PackedLen, PackedLen+len(Mem)).
+	// States and Stables are the per-PID liveness and stable action
+	// counters; Procs the per-PID private state of live processors (nil
+	// for dead/halted PIDs).
 	Mem     []Word
 	States  []ProcState
 	Stables []Word
 	Procs   [][]Word
+
+	// PackedLen and PackedBits capture a bit-packed memory prefix in
+	// representation form (see Config.Packed): cells [0, PackedLen) one
+	// bit each, 64 per word. Capturing the representation directly keeps
+	// an N=10⁸ packed checkpoint at ~12 MB instead of materializing
+	// 800 MB. Zero/nil for unpacked memories (and for every snapshot
+	// written before format version 2). Snapshots restore across
+	// representations: the logical cell contents are what round-trips.
+	PackedLen  int
+	PackedBits []uint64
 
 	// AlgState and AdvState hold the algorithm's and adversary's own
 	// Snapshotter payloads (nil when the component is stateless).
 	AlgState []Word
 	AdvState []Word
 }
+
+// MemSize returns the logical memory size the snapshot captures:
+// the packed prefix plus the (possibly whole-memory) unpacked tail.
+func (s *Snapshot) MemSize() int { return s.PackedLen + len(s.Mem) }
 
 // Snapshot captures the machine's complete run state between ticks. It
 // must not be called concurrently with Step or Run. Every live
@@ -88,10 +104,18 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		Adversary: m.adv.Name(),
 		Tick:      m.tick,
 		Metrics:   m.metrics,
-		Mem:       m.mem.CopyInto(nil),
 		States:    append([]ProcState(nil), m.states...),
 		Stables:   append([]Word(nil), m.stables...),
 		Procs:     make([][]Word, m.cfg.P),
+	}
+	if pl := m.mem.PackedLen(); pl > 0 {
+		// Capture the packed representation directly instead of
+		// materializing one Word per cell; Mem holds only the tail.
+		s.PackedLen = pl
+		s.PackedBits = append([]uint64(nil), m.mem.bits...)
+		s.Mem = append([]Word(nil), m.mem.cells...)
+	} else {
+		s.Mem = m.mem.CopyInto(nil)
 	}
 	for pid := 0; pid < m.cfg.P; pid++ {
 		if m.states[pid] != Alive {
@@ -135,9 +159,13 @@ func (m *Machine) RestoreSnapshot(s *Snapshot) error {
 		return fmt.Errorf("%w: snapshot is %s vs %s, machine is %s vs %s",
 			ErrSnapshotMismatch, s.Algorithm, s.Adversary, m.alg.Name(), m.adv.Name())
 	}
-	if len(s.Mem) != m.mem.Size() {
+	if s.MemSize() != m.mem.Size() {
 		return fmt.Errorf("%w: snapshot memory has %d cells, machine has %d",
-			ErrSnapshotMismatch, len(s.Mem), m.mem.Size())
+			ErrSnapshotMismatch, s.MemSize(), m.mem.Size())
+	}
+	if s.PackedLen < 0 || len(s.PackedBits) != (s.PackedLen+63)/64 {
+		return fmt.Errorf("%w: packed prefix %d cells with %d bit words",
+			ErrSnapshotMismatch, s.PackedLen, len(s.PackedBits))
 	}
 	if len(s.States) != m.cfg.P || len(s.Stables) != m.cfg.P || len(s.Procs) != m.cfg.P {
 		return fmt.Errorf("%w: per-processor slices sized %d/%d/%d, want %d",
@@ -149,7 +177,7 @@ func (m *Machine) RestoreSnapshot(s *Snapshot) error {
 		}
 	}
 
-	m.mem.Restore(s.Mem)
+	m.mem.RestoreParts(m.packedLen(s.MemSize()), s.PackedLen, s.PackedBits, s.Mem)
 	copy(m.states, s.States)
 	copy(m.stables, s.Stables)
 	for pid := 0; pid < m.cfg.P; pid++ {

@@ -25,9 +25,19 @@ import (
 // The payload encodes the Snapshot fields in declaration order; strings
 // and slices are length-prefixed. The checksum makes a torn or corrupted
 // checkpoint file detectable instead of silently resuming garbage.
+//
+// Version history:
+//
+//	1: initial format (Mem always the full materialized memory)
+//	2: appends PackedLen (i64) and PackedBits (length-prefixed u64s) so
+//	   packed memories checkpoint in representation form. Version-1
+//	   streams still load (as PackedLen == 0).
 
 // SnapshotVersion is the current snapshot serialization format version.
-const SnapshotVersion = 1
+const SnapshotVersion = 2
+
+// minSnapshotVersion is the oldest stream version ReadSnapshot accepts.
+const minSnapshotVersion = 1
 
 // ErrSnapshotFormat reports a corrupt, truncated, or unsupported
 // snapshot stream. The two sentinels below wrap it, so callers can keep
@@ -72,6 +82,8 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	e.words(s.AlgState)
 	e.words(s.AdvState)
+	e.i64(int64(s.PackedLen))
+	e.u64s(s.PackedBits)
 	if e.err != nil {
 		return e.err
 	}
@@ -102,8 +114,9 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if !bytes.Equal(header[:8], snapshotMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrSnapshotVersion, header[:8])
 	}
-	if v := binary.LittleEndian.Uint32(header[8:12]); v != SnapshotVersion {
-		return nil, fmt.Errorf("%w: version %d (have %d)", ErrSnapshotVersion, v, SnapshotVersion)
+	version := binary.LittleEndian.Uint32(header[8:12])
+	if version < minSnapshotVersion || version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (have %d)", ErrSnapshotVersion, version, SnapshotVersion)
 	}
 	length := binary.LittleEndian.Uint64(header[12:20])
 	if length > math.MaxInt32 {
@@ -148,6 +161,14 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	s.AlgState = d.words()
 	s.AdvState = d.words()
+	if version >= 2 {
+		s.PackedLen = int(d.i64())
+		s.PackedBits = d.u64s()
+		if d.err == nil && (s.PackedLen < 0 || len(s.PackedBits) != (s.PackedLen+63)/64) {
+			return nil, fmt.Errorf("%w: packed prefix %d cells with %d bit words",
+				ErrSnapshotCorrupt, s.PackedLen, len(s.PackedBits))
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -295,6 +316,13 @@ func (e *snapEncoder) words(ws []Word) {
 	}
 }
 
+func (e *snapEncoder) u64s(ws []uint64) {
+	e.u64(uint64(len(ws)))
+	for _, w := range ws {
+		e.u64(w)
+	}
+}
+
 func (e *snapEncoder) metrics(m Metrics) {
 	e.i64(int64(m.N))
 	e.i64(int64(m.P))
@@ -370,6 +398,26 @@ func (d *snapDecoder) words() []Word {
 	ws := make([]Word, n)
 	for i := range ws {
 		ws[i] = Word(binary.LittleEndian.Uint64(d.buf[i*8 : i*8+8]))
+	}
+	d.buf = d.buf[n*8:]
+	return ws
+}
+
+func (d *snapDecoder) u64s() []uint64 {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n*8 > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("%w: %d words exceed remaining payload", ErrSnapshotCorrupt, n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint64(d.buf[i*8 : i*8+8])
 	}
 	d.buf = d.buf[n*8:]
 	return ws

@@ -24,8 +24,8 @@ func (v MemoryView) Load(addr int) Word { return v.mem.Load(addr) }
 // returns the destination slice (the Theorem 3.2 snapshot instruction).
 func (v MemoryView) CopyInto(dst []Word) []Word { return v.mem.CopyInto(dst) }
 
-// Slice returns the region [start, start+n). The caller must not modify
-// the returned slice; it aliases machine state.
+// Slice returns a copy of the region [start, start+n); see Memory.Slice
+// for why it never aliases machine state.
 func (v MemoryView) Slice(start, n int) []Word { return v.mem.Slice(start, n) }
 
 // StateView is an immutable, read-only view of processor liveness at the

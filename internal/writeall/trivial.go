@@ -52,6 +52,26 @@ func (t *trivialProc) Cycle(ctx *pram.Ctx) pram.Status {
 	return pram.Continue
 }
 
+// CycleBatch implements pram.BatchCycler: up to k stride cycles
+// committed in one call. Stride cells are disjoint across processors
+// and never read, so the cycles are oblivious over any failure-free
+// window; a stride is non-contiguous, so cells are written one at a
+// time (the machine's store keeps the done-hint counter exact either
+// way).
+func (t *trivialProc) CycleBatch(b *pram.BatchCtx, k int) (int, pram.Status) {
+	for ran := 0; ran < k; ran++ {
+		addr := t.pid + t.k*t.p
+		if addr >= t.n {
+			// The halting cycle completes (it just writes nothing).
+			return ran + 1, pram.Halt
+		}
+		b.Write(addr, 1)
+		b.Charge(0, 1)
+		t.k++
+	}
+	return k, pram.Continue
+}
+
 // SnapshotState implements pram.Snapshotter: the private stride index.
 func (t *trivialProc) SnapshotState() []pram.Word { return []pram.Word{pram.Word(t.k)} }
 
@@ -115,6 +135,33 @@ func (s *sequentialProc) Cycle(ctx *pram.Ctx) pram.Status {
 	ctx.Write(pos, 1)
 	ctx.SetStable(pram.Word(pos + 1))
 	return pram.Continue
+}
+
+// CycleBatch implements pram.BatchCycler: the sweep advances
+// min(k, n-pos) positions as one contiguous FillOnes — a word per op
+// over a packed array — with a single stable-counter checkpoint at the
+// window end (intermediate checkpoints are unobservable in a
+// failure-free window). Only processor 0 works; the rest complete one
+// halting cycle, as per-tick.
+func (s *sequentialProc) CycleBatch(b *pram.BatchCtx, k int) (int, pram.Status) {
+	if s.pid != 0 {
+		return 1, pram.Halt
+	}
+	pos := int(b.Stable())
+	if pos >= s.n {
+		return 1, pram.Halt
+	}
+	cnt := min(k, s.n-pos)
+	b.FillOnes(pos, pos+cnt)
+	b.SetStable(pram.Word(pos + cnt))
+	b.Charge(0, 1)
+	if pos+cnt >= s.n && cnt < k {
+		// The next cycle in the window would halt. Unreachable under the
+		// machine's completion-distance guard (Done fires first), but it
+		// keeps the per-cycle semantics exact for any caller.
+		return cnt + 1, pram.Halt
+	}
+	return cnt, pram.Continue
 }
 
 // SnapshotState implements pram.Snapshotter: the sweep position lives
