@@ -9,7 +9,7 @@ BENCHTIME ?= 100x
 # gate; must be >= 3.
 GATE_RUNS ?= 3
 
-.PHONY: all check build vet test test-short race race-equiv obs-check service-check bench bench-json bench-compare bench-check bench-gate fuzz fuzz-short chaos experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race race-equiv obs-check service-check fabric-check bench bench-json bench-compare bench-check bench-gate fuzz fuzz-short chaos experiments experiments-full cover clean
 
 all: check
 
@@ -17,7 +17,7 @@ all: check
 # full -race sweep, then runs the robustness gates (short fuzz pass over
 # the decoders, randomized chaos resume grid) and ends with a warn-only
 # benchmark comparison.
-check: build vet test race-equiv obs-check service-check race fuzz-short chaos bench-check
+check: build vet test race-equiv obs-check service-check fabric-check race fuzz-short chaos bench-check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ obs-check:
 service-check:
 	$(GO) test -race ./internal/engine/ ./internal/jobs/ ./cmd/pramd/
 	$(GO) vet ./internal/engine/ ./internal/jobs/ ./cmd/pramd/
+
+# fabric-check runs the distributed sweep fabric under the race
+# detector with a hard wall-clock cap: the coordinator's lease table,
+# the workers' heartbeat pumps, and the chaos kill/restart drill
+# (TestChaosSweepKillRestart) are all concurrency-heavy, and a hung
+# lease must fail the build rather than wedge it.
+fabric-check:
+	$(GO) test -race -timeout 10m ./internal/fabric/ ./cmd/pramw/
+	$(GO) vet ./internal/fabric/ ./cmd/pramw/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

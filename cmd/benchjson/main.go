@@ -200,6 +200,12 @@ func loadReport(path string) (Report, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return Report{}, fmt.Errorf("parse %s: %w", path, err)
 	}
+	// A baseline with no benchmarks would make -compare and -gate
+	// vacuously pass (nothing to diff, nothing to spread-check) — the
+	// 0-byte-artifact failure mode. Refuse it loudly instead.
+	if len(rep.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("report %s holds no benchmarks (empty or truncated baseline)", path)
+	}
 	return rep, nil
 }
 

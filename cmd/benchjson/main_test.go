@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -296,6 +298,26 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 	} {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted malformed line", line)
+		}
+	}
+}
+
+// TestLoadReportRejectsEmpty pins the loud-failure contract: a 0-byte
+// or benchmark-less baseline must error out of -compare/-gate instead
+// of vacuously passing (the BENCH_pr8.json 0-byte-artifact bug).
+func TestLoadReportRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"zero.json":   nil,
+		"hollow.json": []byte(`{"benchmarks":[]}`),
+		"bare.json":   []byte(`{}`),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadReport(path); err == nil {
+			t.Errorf("loadReport(%s) must reject a report with no benchmarks", name)
 		}
 	}
 }

@@ -7,6 +7,14 @@
 //	experiments [-run E6[,E9,...]] [-full]
 //	experiments -checkpoint-dir DIR          # journal per-experiment results
 //	experiments -checkpoint-dir DIR -resume  # re-run only unfinished ones
+//	experiments -fabric 3                    # Do-All sweep on 3 crash-tolerant workers
+//
+// With -fabric N the sweep runs as a Do-All instance on the
+// distributed fabric (internal/fabric): N in-process workers pull
+// experiment tasks under leases, results commit at-most-once to the
+// fsync'd ledger in -fabric-state, and a re-run of the same sweep is
+// served entirely from that ledger (cache hits) unless -fabric-fresh
+// discards it. The output is bit-identical to a plain sweep.
 //
 // Without -run it executes every experiment; -full uses the (slower) sizes
 // recorded in EXPERIMENTS.md instead of the quick ones. With
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/pram"
 )
@@ -61,6 +70,12 @@ type cliOptions struct {
 	format    string
 	debugAddr string
 	progress  time.Duration
+	// fabricWorkers > 0 runs the sweep as a Do-All instance on the
+	// distributed fabric (internal/fabric) with that many in-process
+	// workers; fabricState holds the ledger, fabricFresh discards it.
+	fabricWorkers int
+	fabricState   string
+	fabricFresh   bool
 }
 
 // parseSpec maps the flag surface onto an engine.SweepSpec plus the
@@ -79,6 +94,9 @@ func parseSpec(args []string) (engine.SweepSpec, cliOptions, error) {
 	fs.StringVar(&spec.CheckpointDir, "checkpoint-dir", "", "journal finished experiments to DIR/journal.jsonl so an interrupted sweep can be resumed")
 	fs.BoolVar(&spec.Resume, "resume", false, "with -checkpoint-dir, replay journaled experiments and run only the unfinished ones")
 	fs.DurationVar(&spec.Deadline, "deadline", 0, "wall-clock budget per sweep point; overrunning points degrade to error rows (0 disables)")
+	fs.IntVar(&opts.fabricWorkers, "fabric", 0, "run the sweep on the crash-tolerant fabric with this many in-process workers (0 = off); committed experiments in the ledger are cache hits on re-run")
+	fs.StringVar(&opts.fabricState, "fabric-state", "fabric.state", "fabric ledger directory (with -fabric)")
+	fs.BoolVar(&opts.fabricFresh, "fabric-fresh", false, "discard an existing fabric ledger instead of resuming from it (with -fabric)")
 	if err := fs.Parse(args); err != nil {
 		return spec, opts, err
 	}
@@ -98,6 +116,7 @@ func run(ctx context.Context, args []string) error {
 		reg := obs.Default()
 		pram.EnableObs(reg)
 		bench.EnableObs(reg)
+		fabric.EnableObs(reg)
 		obs.CollectFaultInject(reg)
 		if opts.debugAddr != "" {
 			srv, err := obs.Serve(opts.debugAddr, reg)
@@ -113,15 +132,47 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
+	render := func(t *bench.Table) {
+		switch opts.format {
+		case "markdown", "md":
+			t.RenderMarkdown(os.Stdout)
+		default:
+			t.Render(os.Stdout)
+		}
+	}
+
+	if opts.fabricWorkers > 0 {
+		if spec.CheckpointDir != "" || spec.Resume {
+			return fmt.Errorf("-fabric replaces -checkpoint-dir/-resume: the fabric ledger is the checkpoint")
+		}
+		res, stats, err := fabric.RunSweep(ctx, spec, fabric.RunSweepOptions{
+			StateDir: opts.fabricState,
+			Workers:  opts.fabricWorkers,
+			Fresh:    opts.fabricFresh,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range res.Experiments {
+			for i := range e.Tables {
+				render(&e.Tables[i])
+			}
+		}
+		fmt.Fprintf(os.Stderr, "fabric: %d task(s): %d executed, %d cache hit(s), %d retried, %d quarantined (%d duplicate commit(s) suppressed)\n",
+			stats.Tasks, stats.Commits, stats.CacheHits, stats.Retries, stats.Quarantined, stats.DuplicateCommits)
+		if res.Degraded > 0 {
+			fmt.Fprintf(os.Stderr, "note: %d sweep point(s) degraded to errors (reported inline above)\n", res.Degraded)
+		}
+		return nil
+	}
+
 	res, err := engine.ExecuteSweep(ctx, spec, engine.SweepOptions{
 		OnResult: func(ev engine.SweepEvent) {
 			for i := range ev.Tables {
-				switch opts.format {
-				case "markdown", "md":
-					ev.Tables[i].RenderMarkdown(os.Stdout)
-				default:
-					ev.Tables[i].Render(os.Stdout)
-				}
+				render(&ev.Tables[i])
 			}
 			if opts.format == "text" {
 				if ev.Replayed {

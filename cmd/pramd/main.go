@@ -31,11 +31,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/pram"
@@ -56,6 +59,10 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 2, "jobs executed concurrently")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget: running jobs are checkpointed and re-queued within this window")
 		debugAddr = fs.String("debug-addr", "", "serve expvar and pprof on this extra address (the main listener already serves /metrics)")
+
+		fabricSweep = fs.String("fabric-sweep", "", "also serve a fabric Do-All coordinator for these experiment IDs (comma-separated; \"all\" = every experiment; empty = fabric off); workers are pramw processes")
+		fabricFull  = fs.Bool("fabric-full", false, "fabric sweep at full scale")
+		fabricState = fs.String("fabric-state", "", "fabric ledger directory (default <state-dir>/fabric)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,11 +91,40 @@ func run(args []string) error {
 		log.Printf("pramd: debug server on http://%s", dbg.Addr())
 	}
 
+	handler := NewServer(store, reg)
+	if *fabricSweep != "" {
+		fabric.EnableObs(reg)
+		spec := engine.SweepSpec{Full: *fabricFull}
+		if *fabricSweep != "all" {
+			spec.Run = strings.Split(*fabricSweep, ",")
+		}
+		tasks, err := fabric.Decompose(spec)
+		if err != nil {
+			return err
+		}
+		dir := *fabricState
+		if dir == "" {
+			dir = filepath.Join(*stateDir, "fabric")
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create fabric state dir: %w", err)
+		}
+		coord, err := fabric.NewCoordinator(tasks, filepath.Join(dir, "ledger.jsonl"), fabric.Options{Logf: log.Printf})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		handler.Mount("/v1/fabric/", coord.Handler())
+		stats := coord.Stats()
+		log.Printf("pramd: fabric coordinator serving %d tasks (%d already committed) from ledger %s",
+			stats.Tasks, stats.Done, filepath.Join(dir, "ledger.jsonl"))
+	}
+
 	ln, err := net.Listen("tcp", listenAddr(*addr))
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: NewServer(store, reg)}
+	srv := &http.Server{Handler: handler}
 	log.Printf("pramd: serving on http://%s (state in %s, %d workers)", ln.Addr(), *stateDir, *workers)
 
 	errc := make(chan error, 1)

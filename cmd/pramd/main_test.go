@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -354,5 +355,52 @@ func TestMetricsEndpoint(t *testing.T) {
 	raw, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "jobs_submitted_total") {
 		t.Fatalf("metrics status %d body %q", resp.StatusCode, raw)
+	}
+}
+
+// TestFabricMountOverDaemonSurface serves a fabric coordinator on the
+// daemon's mux (the -fabric-sweep wiring) and runs one worker against
+// it over HTTP: the job API and the fabric surface share one address.
+func TestFabricMountOverDaemonSurface(t *testing.T) {
+	dir := t.TempDir()
+	store, err := jobs.Open(filepath.Join(dir, "jobs"), jobs.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer store.Close(t.Context())
+
+	tasks, err := fabric.Decompose(engine.SweepSpec{Run: []string{"E1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fabric.NewCoordinator(tasks, filepath.Join(dir, "ledger.jsonl"), fabric.Options{CodeVersion: "test", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := NewServer(store, nil)
+	srv.Mount("/v1/fabric/", coord.Handler())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Both surfaces answer on one address.
+	var stats fabric.Stats
+	if resp := getJSON(t, ts.URL+"/v1/fabric/status", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fabric status: %d", resp.StatusCode)
+	}
+	if stats.Tasks != 1 || stats.Pending != 1 {
+		t.Fatalf("fresh coordinator stats: %+v", stats)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs list alongside fabric: %d", resp.StatusCode)
+	}
+
+	w := &fabric.Worker{ID: "daemon-test", Coord: &fabric.Client{BaseURL: ts.URL}, Poll: 10 * time.Millisecond, Logf: t.Logf}
+	if err := w.Run(t.Context()); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	getJSON(t, ts.URL+"/v1/fabric/status", &stats)
+	if stats.Done != 1 || stats.Commits != 1 {
+		t.Fatalf("worker must commit E1 over the daemon surface, got %+v", stats)
 	}
 }

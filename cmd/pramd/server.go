@@ -55,6 +55,10 @@ func NewServer(store *jobs.Store, reg *obs.Registry) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Mount attaches an extra handler subtree to the daemon's mux (the
+// fabric coordinator's /v1/fabric/ surface). Call before serving.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 // writeJSON renders one JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

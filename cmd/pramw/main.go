@@ -1,0 +1,82 @@
+// Command pramw is a fabric worker: a deliberately stateless process
+// that pulls Do-All tasks (experiment points) from a fabric
+// coordinator over HTTP, executes them through internal/engine, and
+// reports results. It is the crash-prone, restartable processor of the
+// paper's model: kill it at any instant and nothing is lost — the
+// coordinator's lease expires, the task is reassigned, and a restarted
+// pramw (same flags, any machine) rejoins the computation.
+//
+// Usage:
+//
+//	pramd -fabric-sweep E1,E4,E13 &        # coordinator
+//	pramw -coordinator http://127.0.0.1:7421 &
+//	pramw -coordinator http://127.0.0.1:7421 &
+//
+// pramw exits 0 when the coordinator reports the Do-All complete, and
+// keeps polling through coordinator restarts (a restartable
+// coordinator is part of the fault model).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pramw", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:7421", "fabric coordinator base URL")
+		id          = fs.String("id", "", "worker name in leases and logs (default pramw-<pid>)")
+		poll        = fs.Duration("poll", 100*time.Millisecond, "idle re-poll interval when no task is leasable")
+		quiet       = fs.Bool("quiet", false, "suppress per-task log output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("pramw-%d", os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	w := &fabric.Worker{
+		ID:    *id,
+		Coord: &fabric.Client{BaseURL: *coordinator},
+		Poll:  *poll,
+		Logf:  logf,
+	}
+	log.Printf("pramw: worker %s joining coordinator %s", *id, *coordinator)
+	err := w.Run(ctx)
+	if err == nil {
+		log.Printf("pramw: coordinator reports the Do-All complete; exiting")
+		return nil
+	}
+	if errors.Is(err, context.Canceled) {
+		// SIGINT/SIGTERM: abandon cleanly; leases expire and the work
+		// is reassigned.
+		log.Printf("pramw: interrupted; outstanding lease (if any) will expire and be reassigned")
+		return nil
+	}
+	return err
+}

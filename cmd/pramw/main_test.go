@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+)
+
+// TestWorkerRunsToCompletion drives the real binary entry point
+// against an HTTP coordinator holding one Write-All run task: pramw
+// must execute it, commit the result, and exit 0 when the coordinator
+// reports the Do-All complete.
+func TestWorkerRunsToCompletion(t *testing.T) {
+	task := fabric.Task{Key: "run/x-none-64", Run: &engine.RunSpec{Algorithm: "X", Adversary: "none", N: 64}}
+	coord, err := fabric.NewCoordinator([]fabric.Task{task},
+		filepath.Join(t.TempDir(), "ledger.jsonl"), fabric.Options{CodeVersion: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	if err := run([]string{"-coordinator", ts.URL, "-id", "test-worker", "-poll", "10ms", "-quiet"}); err != nil {
+		t.Fatalf("pramw run: %v", err)
+	}
+	s := coord.Stats()
+	if s.Done != 1 || s.Commits != 1 {
+		t.Fatalf("worker must commit the task, got %+v", s)
+	}
+	raw, ok := coord.Result(task.Key)
+	if !ok {
+		t.Fatal("no committed result")
+	}
+	var res engine.RunResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "X" || res.N != 64 || res.Metrics.Completed < 64 {
+		t.Fatalf("unexpected run result: %+v", res)
+	}
+}

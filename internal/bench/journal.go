@@ -34,7 +34,15 @@ type journalEntry struct {
 // every complete entry. A trailing partial line from an interrupted
 // write is discarded and the file truncated to the last good entry.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := faultinject.OpenFile(faultinject.Active(), "journal", path,
+	return OpenJournalScope(path, "journal")
+}
+
+// OpenJournalScope is OpenJournal with a caller-chosen faultinject
+// scope, so journals serving different roles (sweep journal, fabric
+// ledger) expose distinct failpoints (<scope>.open, <scope>.write,
+// <scope>.sync).
+func OpenJournalScope(path, scope string) (*Journal, error) {
+	f, err := faultinject.OpenFile(faultinject.Active(), scope, path,
 		os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("bench: open journal: %w", err)

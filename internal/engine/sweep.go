@@ -160,7 +160,59 @@ func ExecuteSweep(ctx context.Context, spec SweepSpec, opt SweepOptions) (SweepR
 		}
 	}
 	if res.Ran == 0 {
-		return res, fmt.Errorf("no experiments matched -run=%q; known IDs are E1..E17", strings.Join(spec.Run, ","))
+		all := bench.All()
+		return res, fmt.Errorf("no experiments matched -run=%q; known IDs are E1..%s",
+			strings.Join(spec.Run, ","), all[len(all)-1].ID)
 	}
 	return res, nil
+}
+
+// ExperimentIDs resolves the spec's Run filter against the registry and
+// returns the selected experiment IDs in registry order. An empty
+// filter selects every experiment; a filter that matches nothing
+// returns the same "no experiments matched" error as ExecuteSweep.
+func (s SweepSpec) ExperimentIDs() ([]string, error) {
+	want := make(map[string]bool)
+	for _, id := range s.Run {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	var ids []string
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		ids = append(ids, e.ID)
+	}
+	if len(ids) == 0 {
+		all := bench.All()
+		return nil, fmt.Errorf("no experiments matched -run=%q; known IDs are E1..%s",
+			strings.Join(s.Run, ","), all[len(all)-1].ID)
+	}
+	return ids, nil
+}
+
+// RunExperiment runs one registered experiment at the given scale and
+// returns its tables. Unlike ExecuteSweep it does not touch the
+// process-global bench knobs (parallelism, point deadline), so
+// concurrent callers — fabric workers sharing a process — stay
+// independent.
+func RunExperiment(ctx context.Context, id string, full bool) ([]bench.Table, error) {
+	scale := bench.Quick
+	if full {
+		scale = bench.Full
+	}
+	for _, e := range bench.All() {
+		if e.ID != id {
+			continue
+		}
+		tables := e.Run(ctx, scale)
+		bench.ExperimentDone()
+		if err := ctx.Err(); err != nil {
+			return tables, fmt.Errorf("experiment %s interrupted: %w", id, err)
+		}
+		return tables, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q", id)
 }

@@ -1,0 +1,230 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// swapHandler is a stable HTTP address whose backing handler can be
+// swapped (or removed) at runtime — the drill's stand-in for a
+// coordinator process dying and restarting behind one endpoint.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	if h == nil {
+		s.h.Store(nil)
+		return
+	}
+	s.h.Store(&h)
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := s.h.Load()
+	if h == nil {
+		http.Error(w, "coordinator down", http.StatusServiceUnavailable)
+		return
+	}
+	(*h).ServeHTTP(w, r)
+}
+
+// TestChaosSweepKillRestart is the fabric's headline drill, in the
+// style of cmd/pramd's TestSweepKillRestartOverHTTP: a sweep of
+// E1/E4/E13 distributed over four HTTP workers while the faultinject
+// registry SIGKILLs workers (two guaranteed kills) and drops
+// heartbeats, and the coordinator itself is killed and restarted once
+// mid-sweep. The merged result must be bit-identical to a
+// single-process sweep, the chaos must be visible in the fabric_*
+// metrics, and a re-run over the same ledger must be 100% cache hits
+// with zero re-execution.
+func TestChaosSweepKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	spec := engine.SweepSpec{Run: []string{"E1", "E4", "E13"}}
+
+	// Single-process baseline: the ground truth the Do-All must
+	// reproduce bit for bit.
+	baseline, err := engine.ExecuteSweep(ctx, spec, engine.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(baseline)
+
+	// Chaos: the first two lease-holding workers die (deterministic),
+	// and half of the next eight heartbeats vanish (seeded), forcing
+	// expiries and reassignments.
+	freg := faultinject.New(42)
+	if err := freg.Enable("fabric.worker.kill=error#2,fabric.heartbeat.drop=error:0.5#8"); err != nil {
+		t.Fatal(err)
+	}
+	oldReg := faultinject.Swap(freg)
+	defer faultinject.Swap(oldReg)
+
+	mreg := obs.NewRegistry()
+	EnableObs(mreg)
+
+	tasks, err := Decompose(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := filepath.Join(t.TempDir(), "ledger.jsonl")
+	copts := Options{
+		LeaseTTL:    500 * time.Millisecond,
+		Backoff:     10 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		MaxAttempts: 8,
+		CodeVersion: "chaos-test",
+		Logf:        t.Logf,
+	}
+	coordA, err := NewCoordinator(tasks, ledger, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw := &swapHandler{}
+	sw.set(coordA.Handler())
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+
+	// Four crash-prone workers over the HTTP transport.
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		w := &Worker{
+			ID:    "chaos-" + string(rune('a'+i)),
+			Coord: &Client{BaseURL: ts.URL},
+			Poll:  10 * time.Millisecond,
+			Logf:  t.Logf,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+
+	// Kill the coordinator once, after at least one result is durable
+	// AND both guaranteed worker kills have surfaced as lease expiries
+	// and retries (a restart wipes in-memory leases, which would
+	// otherwise let the killed tasks reschedule without ever counting
+	// as retried).
+	coordBCh := make(chan *Coordinator, 1)
+	go func() {
+		for ctx.Err() == nil {
+			s := coordA.Stats()
+			if s.Done >= 1 && s.Retries >= 2 {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		sw.set(nil) // the address goes dark: workers retry
+		coordA.Close()
+		b, err := NewCoordinator(tasks, ledger, copts)
+		if err != nil {
+			t.Errorf("coordinator restart: %v", err)
+			coordBCh <- nil
+			cancel()
+			return
+		}
+		sw.set(b.Handler())
+		coordBCh <- b
+	}()
+
+	wg.Wait()
+	coordB := <-coordBCh
+	if coordB == nil {
+		t.Fatal("coordinator restart failed")
+	}
+	defer coordB.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	statsB := coordB.Stats()
+	if statsB.Done != len(tasks) || statsB.Quarantined != 0 {
+		t.Fatalf("drill must finish every task unquarantined, got %+v", statsB)
+	}
+	if statsB.CacheHits < 1 {
+		t.Fatalf("the restarted coordinator must recover at least one durable result as a cache hit, got %+v", statsB)
+	}
+	got, err := Assemble(coordB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("chaos sweep diverged from single-process baseline:\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+
+	// The chaos must be visible in the metrics: two guaranteed worker
+	// kills force at least two lease expiries and retries, the restart
+	// recovers cache hits, and every task commits at least once.
+	metric := func(name string) float64 {
+		v, ok := mreg.Value(name)
+		if !ok {
+			t.Fatalf("metric %s not registered", name)
+		}
+		return v
+	}
+	if v := metric(obs.MetricFabricRetries); v < 2 {
+		t.Fatalf("two worker kills must surface as >= 2 retries, got %v", v)
+	}
+	if v := metric(obs.MetricFabricLeasesExpired); v < 2 {
+		t.Fatalf("two worker kills must surface as >= 2 lease expiries, got %v", v)
+	}
+	if v := metric(obs.MetricFabricCommits); v < float64(len(tasks)) {
+		t.Fatalf("every task must commit, got %v commits", v)
+	}
+	if v := metric(obs.MetricFabricCacheHits); v < 1 {
+		t.Fatalf("coordinator recovery must register cache hits, got %v", v)
+	}
+	if v := metric(obs.MetricFabricQuarantined); v != 0 {
+		t.Fatalf("nothing should quarantine in the drill, got %v", v)
+	}
+
+	// Re-run the same sweep over the same ledger: 100% cache hits,
+	// zero re-execution, identical bytes.
+	coordB.Close()
+	coordC, err := NewCoordinator(tasks, ledger, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordC.Close()
+	statsC := coordC.Stats()
+	if statsC.CacheHits != len(tasks) || statsC.Done != len(tasks) {
+		t.Fatalf("re-run must be all cache hits, got %+v", statsC)
+	}
+	w := &Worker{ID: "rerun", Coord: coordC, Poll: 5 * time.Millisecond}
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s := coordC.Stats(); s.LeasesGranted != 0 || s.Commits != 0 {
+		t.Fatalf("re-run must not execute anything, got %+v", s)
+	}
+	got2, err := Assemble(coordC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON2, _ := json.Marshal(got2)
+	if string(gotJSON2) != string(wantJSON) {
+		t.Fatalf("cached re-run diverged from baseline:\nwant %s\ngot  %s", wantJSON, gotJSON2)
+	}
+}

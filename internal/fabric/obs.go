@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// fabricObs holds the coordinator's metric hooks. Nil until EnableObs
+// installs one; every hook site is nil-checked so an unobserved
+// coordinator pays one atomic load per event.
+type fabricObs struct {
+	tasks         *obs.Counter
+	done          *obs.Counter
+	pending       *obs.Gauge
+	leases        *obs.Counter
+	leasesExpired *obs.Counter
+	heartbeats    *obs.Counter
+	retries       *obs.Counter
+	quarantined   *obs.Counter
+	cacheHits     *obs.Counter
+	commits       *obs.Counter
+	dupCommits    *obs.Counter
+	workersLive   *obs.Gauge
+}
+
+var fObs atomic.Pointer[fabricObs]
+
+// EnableObs registers the fabric coordinator's metrics in r and turns
+// the hooks on, process-wide. Idempotent per registry; follows the
+// bench.EnableObs pattern.
+func EnableObs(r *obs.Registry) {
+	fObs.Store(&fabricObs{
+		tasks:         r.Counter(obs.MetricFabricTasks, "Do-All tasks enqueued at coordinator start"),
+		done:          r.Counter(obs.MetricFabricTasksDone, "tasks committed, by execution or cache hit"),
+		pending:       r.Gauge(obs.MetricFabricTasksPending, "tasks not yet committed or quarantined"),
+		leases:        r.Counter(obs.MetricFabricLeases, "leases granted to workers"),
+		leasesExpired: r.Counter(obs.MetricFabricLeasesExpired, "leases reclaimed after a missed heartbeat"),
+		heartbeats:    r.Counter(obs.MetricFabricHeartbeats, "heartbeats honored (lease extended)"),
+		retries:       r.Counter(obs.MetricFabricRetries, "task attempts re-queued after failure or lease expiry"),
+		quarantined:   r.Counter(obs.MetricFabricQuarantined, "tasks quarantined after MaxAttempts failures"),
+		cacheHits:     r.Counter(obs.MetricFabricCacheHits, "tasks satisfied from the content-addressed result cache"),
+		commits:       r.Counter(obs.MetricFabricCommits, "results durably committed to the ledger"),
+		dupCommits:    r.Counter(obs.MetricFabricDuplicateCommits, "late or duplicate completions suppressed (at-most-once)"),
+		workersLive:   r.Gauge(obs.MetricFabricWorkersLive, "workers holding at least one unexpired lease"),
+	})
+}
+
+// obsSync publishes the coordinator's opening position: task count and
+// pending gauge (recovery cache hits are counted separately as they
+// are discovered).
+func obsSync(s Stats) {
+	if h := fObs.Load(); h != nil {
+		h.tasks.Add(int64(s.Tasks))
+		h.pending.Set(int64(s.Pending))
+	}
+}
+
+func obsCacheHit() {
+	if h := fObs.Load(); h != nil {
+		h.cacheHits.Inc()
+		h.done.Inc()
+	}
+}
+
+func obsCommit(s Stats) {
+	if h := fObs.Load(); h != nil {
+		h.commits.Inc()
+		h.done.Inc()
+		h.pending.Set(int64(s.Pending))
+	}
+}
+
+func obsDuplicateCommit() {
+	if h := fObs.Load(); h != nil {
+		h.dupCommits.Inc()
+	}
+}
+
+func obsQuarantined(s Stats) {
+	if h := fObs.Load(); h != nil {
+		h.quarantined.Inc()
+		h.pending.Set(int64(s.Pending))
+	}
+}
+
+func obsRetry() {
+	if h := fObs.Load(); h != nil {
+		h.retries.Inc()
+	}
+}
+
+func obsLeaseGranted(workersLive int) {
+	if h := fObs.Load(); h != nil {
+		h.leases.Inc()
+		h.workersLive.Set(int64(workersLive))
+	}
+}
+
+func obsLeaseExpired() {
+	if h := fObs.Load(); h != nil {
+		h.leasesExpired.Inc()
+	}
+}
+
+func obsHeartbeat() {
+	if h := fObs.Load(); h != nil {
+		h.heartbeats.Inc()
+	}
+}
+
+func obsWorkers(n int) {
+	if h := fObs.Load(); h != nil {
+		h.workersLive.Set(int64(n))
+	}
+}

@@ -58,4 +58,19 @@ const (
 	MetricJobsFailed    = "jobs_failed_total"    // jobs finished in state failed
 	MetricJobsCanceled  = "jobs_canceled_total"  // jobs finished in state canceled
 	MetricJobsResumed   = "jobs_resumed_total"   // interrupted jobs re-enqueued by crash recovery
+
+	// internal/fabric — the distributed sweep coordinator (Do-All over
+	// crash-prone workers).
+	MetricFabricTasks            = "fabric_tasks_total"             // tasks enqueued at coordinator start
+	MetricFabricTasksDone        = "fabric_tasks_done_total"        // tasks committed (executed or cache hit)
+	MetricFabricTasksPending     = "fabric_tasks_pending"           // tasks not yet committed or quarantined
+	MetricFabricLeases           = "fabric_leases_granted_total"    // leases handed to workers
+	MetricFabricLeasesExpired    = "fabric_leases_expired_total"    // leases reclaimed after a missed heartbeat
+	MetricFabricHeartbeats       = "fabric_heartbeats_total"        // heartbeats honored (lease extended)
+	MetricFabricRetries          = "fabric_retries_total"           // task attempts re-queued after failure or expiry
+	MetricFabricQuarantined      = "fabric_quarantined_total"       // tasks quarantined after MaxAttempts
+	MetricFabricCacheHits        = "fabric_cache_hits_total"        // tasks satisfied from the content-addressed ledger
+	MetricFabricCommits          = "fabric_commits_total"           // results durably committed to the ledger
+	MetricFabricDuplicateCommits = "fabric_duplicate_commits_total" // late/duplicate completions suppressed (at-most-once)
+	MetricFabricWorkersLive      = "fabric_workers_live"            // workers with at least one unexpired lease
 )
