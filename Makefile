@@ -9,7 +9,7 @@ BENCHTIME ?= 100x
 # gate; must be >= 3.
 GATE_RUNS ?= 3
 
-.PHONY: all check build vet test test-short race race-equiv obs-check service-check fabric-check bench bench-json bench-compare bench-check bench-gate fuzz fuzz-short chaos experiments experiments-full cover clean
+.PHONY: all check build vet test test-short race race-equiv obs-check service-check fabric-check lab-check bench bench-json bench-compare bench-check bench-gate fuzz fuzz-short chaos experiments experiments-full cover clean
 
 all: check
 
@@ -17,7 +17,7 @@ all: check
 # full -race sweep, then runs the robustness gates (short fuzz pass over
 # the decoders, randomized chaos resume grid) and ends with a warn-only
 # benchmark comparison.
-check: build vet test race-equiv obs-check service-check fabric-check race fuzz-short chaos bench-check
+check: build vet test race-equiv obs-check service-check fabric-check lab-check race fuzz-short chaos bench-check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,17 @@ service-check:
 fabric-check:
 	$(GO) test -race -timeout 10m ./internal/fabric/ ./cmd/pramw/
 	$(GO) vet ./internal/fabric/ ./cmd/pramw/
+
+# lab-check runs the adversary strategy lab under the race detector,
+# then one short seeded tournament smoke: the pinned σ-frontier head
+# for X (TestFrontierPinnedOrdering) and the search-beats-hand-grid
+# acceptance run must reproduce exactly — a change anywhere in the
+# machine, the adversaries, or the lab that reorders them is a
+# behavior change and must be pinned deliberately.
+lab-check:
+	$(GO) test -race ./internal/advlab/ ./internal/adversary/
+	$(GO) vet ./internal/advlab/ ./internal/adversary/
+	$(GO) test -count=1 -run 'TestFrontierPinnedOrdering|TestSearchBeatsHandWrittenGrid' ./internal/advlab/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -8,6 +8,15 @@
 //	experiments -checkpoint-dir DIR          # journal per-experiment results
 //	experiments -checkpoint-dir DIR -resume  # re-run only unfinished ones
 //	experiments -fabric 3                    # Do-All sweep on 3 crash-tolerant workers
+//	experiments -lab 128 -lab-p 8 -lab-search 32 -lab-journal lab.jsonl
+//
+// With -lab N the command runs the adversary strategy lab instead of
+// the sweep: every hand-written adversary, the built-in DSL portfolio,
+// and any -lab-strategies file enter a tournament against the bracket
+// algorithms (-lab-algs), rendered as one σ-frontier table per
+// algorithm; -lab-search then runs the seeded random strategy search
+// per algorithm and prints each winner's canonical replay spec, which
+// feeds back in through -lab-strategies. See internal/advlab.
 //
 // With -fabric N the sweep runs as a Do-All instance on the
 // distributed fabric (internal/fabric): N in-process workers pull
@@ -48,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/advlab"
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/fabric"
@@ -76,6 +86,12 @@ type cliOptions struct {
 	fabricWorkers int
 	fabricState   string
 	fabricFresh   bool
+	// lab holds the adversary-strategy-lab spec; labStrategies names an
+	// optional JSON file of extra DSL strategies entered alongside the
+	// built-in grid. lab.N > 0 selects the lab instead of the sweep.
+	lab           engine.LabSpec
+	labAlgs       string
+	labStrategies string
 }
 
 // parseSpec maps the flag surface onto an engine.SweepSpec plus the
@@ -97,6 +113,14 @@ func parseSpec(args []string) (engine.SweepSpec, cliOptions, error) {
 	fs.IntVar(&opts.fabricWorkers, "fabric", 0, "run the sweep on the crash-tolerant fabric with this many in-process workers (0 = off); committed experiments in the ledger are cache hits on re-run")
 	fs.StringVar(&opts.fabricState, "fabric-state", "fabric.state", "fabric ledger directory (with -fabric)")
 	fs.BoolVar(&opts.fabricFresh, "fabric-fresh", false, "discard an existing fabric ledger instead of resuming from it (with -fabric)")
+	fs.IntVar(&opts.lab.N, "lab", 0, "run the adversary strategy lab at this Write-All size instead of the sweep (0 = off)")
+	fs.IntVar(&opts.lab.P, "lab-p", 0, "lab processor count (0 = N)")
+	fs.IntVar(&opts.lab.MaxTicks, "lab-ticks", 1<<14, "lab tick budget per match (0 = machine default)")
+	fs.StringVar(&opts.labAlgs, "lab-algs", "", "comma-separated lab bracket algorithms (empty = X,V,combined)")
+	fs.Int64Var(&opts.lab.Seed, "lab-seed", 1, "lab seed: feeds seed-taking algorithms, the random baseline, and the strategy search")
+	fs.IntVar(&opts.lab.SearchIters, "lab-search", 0, "run the strategy search for this many iterations per bracket algorithm after the tournament (0 = off)")
+	fs.StringVar(&opts.lab.JournalPath, "lab-journal", "", "journal search iterations to this file so an interrupted search resumes bit-identically")
+	fs.StringVar(&opts.labStrategies, "lab-strategies", "", "JSON file of extra DSL strategies (one object or an array) entered in the tournament")
 	if err := fs.Parse(args); err != nil {
 		return spec, opts, err
 	}
@@ -117,6 +141,7 @@ func run(ctx context.Context, args []string) error {
 		pram.EnableObs(reg)
 		bench.EnableObs(reg)
 		fabric.EnableObs(reg)
+		advlab.EnableObs(reg)
 		obs.CollectFaultInject(reg)
 		if opts.debugAddr != "" {
 			srv, err := obs.Serve(opts.debugAddr, reg)
@@ -139,6 +164,10 @@ func run(ctx context.Context, args []string) error {
 		default:
 			t.Render(os.Stdout)
 		}
+	}
+
+	if opts.lab.N > 0 {
+		return runLab(ctx, opts, render)
 	}
 
 	if opts.fabricWorkers > 0 {
@@ -188,6 +217,41 @@ func run(ctx context.Context, args []string) error {
 	}
 	if res.Degraded > 0 {
 		fmt.Fprintf(os.Stderr, "note: %d sweep point(s) degraded to errors (reported inline above)\n", res.Degraded)
+	}
+	return nil
+}
+
+// runLab executes the adversary strategy lab: a tournament sweeping
+// strategies × algorithms, then (with -lab-search) the per-algorithm
+// strategy search. Frontier tables render like sweep tables; each
+// search winner prints with its canonical replay spec, which feeds
+// straight back in through -lab-strategies.
+func runLab(ctx context.Context, opts cliOptions, render func(*bench.Table)) error {
+	spec := opts.lab
+	if opts.labAlgs != "" {
+		spec.Algorithms = strings.Split(opts.labAlgs, ",")
+	}
+	if opts.labStrategies != "" {
+		data, err := os.ReadFile(opts.labStrategies)
+		if err != nil {
+			return fmt.Errorf("-lab-strategies: %w", err)
+		}
+		spec.Strategies, err = advlab.ParseStrategies(data)
+		if err != nil {
+			return fmt.Errorf("-lab-strategies %s: %w", opts.labStrategies, err)
+		}
+	}
+	res, err := engine.ExecuteLab(ctx, spec)
+	if err != nil {
+		return err
+	}
+	for i := range res.Frontiers {
+		render(&res.Frontiers[i])
+	}
+	for _, sr := range res.Searches {
+		fmt.Printf("search[%s]: best σ=%.3f after %d iteration(s) (%d replayed, %d improving): %s\n",
+			sr.Algorithm, sr.BestSigma, sr.Iters, sr.Replayed, sr.Improved, advlab.MustCompile(sr.Best).Name())
+		fmt.Printf("  replay spec: %s\n", sr.Best.Canonical())
 	}
 	return nil
 }

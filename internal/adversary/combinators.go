@@ -1,6 +1,13 @@
 package adversary
 
-import "repro/internal/pram"
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"repro/internal/pram"
+)
 
 // Composite unions the decisions of several adversaries each tick. When
 // two adversaries disagree about a processor's fail point, the earlier
@@ -11,8 +18,18 @@ type Composite struct {
 }
 
 // NewComposite combines adversaries; order sets fail-point priority.
-func NewComposite(parts ...pram.Adversary) *Composite {
-	return &Composite{parts: parts}
+// The returned value implements pram.Quiescence only when every part
+// does (reporting the min over the parts' claims); with any
+// non-Quiescence part the machine must call Decide every tick, so the
+// interface is withheld rather than over-claimed as a constant 0.
+func NewComposite(parts ...pram.Adversary) pram.Adversary {
+	c := &Composite{parts: parts}
+	for _, p := range parts {
+		if _, ok := p.(pram.Quiescence); !ok {
+			return c
+		}
+	}
+	return &quiescentComposite{Composite: c}
 }
 
 // Name implements pram.Adversary.
@@ -99,6 +116,32 @@ func (c *Composite) RestoreState(state []pram.Word) error {
 var _ pram.Adversary = (*Composite)(nil)
 var _ pram.Snapshotter = (*Composite)(nil)
 
+// quiescentComposite is the Composite NewComposite returns when every
+// part implements pram.Quiescence. Keeping the method off Composite
+// itself means a composite with an unpredictable part never claims the
+// interface at all, so Machine.TickBatch's type assertion — not a
+// runtime 0 — decides the fallback.
+type quiescentComposite struct {
+	*Composite
+}
+
+// QuiescentFor implements pram.Quiescence: the union of the parts'
+// decisions is empty and state-free exactly while every part's is, so
+// the composite's quiet window is the min over the parts' claims.
+func (c *quiescentComposite) QuiescentFor(t int) int {
+	quiet := math.MaxInt / 2
+	for _, p := range c.parts {
+		if q := p.(pram.Quiescence).QuiescentFor(t); q < quiet {
+			quiet = q
+		}
+	}
+	return quiet
+}
+
+var _ pram.Adversary = (*quiescentComposite)(nil)
+var _ pram.Snapshotter = (*quiescentComposite)(nil)
+var _ pram.Quiescence = (*quiescentComposite)(nil)
+
 // Window activates an inner adversary only during the tick interval
 // [From, To) (To = 0 means forever). Outside the window it issues nothing,
 // modeling failure bursts.
@@ -113,8 +156,16 @@ func NewWindow(inner pram.Adversary, from, to int) *Window {
 	return &Window{Inner: inner, From: from, To: to}
 }
 
-// Name implements pram.Adversary.
-func (w *Window) Name() string { return w.Inner.Name() + "@window" }
+// Name implements pram.Adversary. The window bounds are part of the
+// name: two differently-placed windows over the same inner adversary
+// are different strategies, and bench tables and sweep-journal keys
+// must not conflate them.
+func (w *Window) Name() string {
+	if w.To > 0 {
+		return fmt.Sprintf("%s@[%d,%d)", w.Inner.Name(), w.From, w.To)
+	}
+	return fmt.Sprintf("%s@[%d,)", w.Inner.Name(), w.From)
+}
 
 // Decide implements pram.Adversary.
 func (w *Window) Decide(v *pram.View) pram.Decision {
@@ -122,6 +173,33 @@ func (w *Window) Decide(v *pram.View) pram.Decision {
 		return pram.Decision{}
 	}
 	return w.Inner.Decide(v)
+}
+
+// QuiescentFor implements pram.Quiescence. Outside the window Decide
+// returns an empty Decision without consulting the inner adversary at
+// all, so before From the window is quiescent for the gap to From
+// (whatever the inner adversary would say), and at or past a positive
+// To it is quiescent forever. Inside the window it delegates to the
+// inner adversary — 0 (per-tick fallback) when the inner does not
+// implement Quiescence — and an inner claim reaching To extends to
+// forever, because the window never reopens.
+func (w *Window) QuiescentFor(t int) int {
+	const forever = math.MaxInt / 2
+	if w.To > 0 && t >= w.To {
+		return forever
+	}
+	if t < w.From {
+		return w.From - t
+	}
+	q, ok := w.Inner.(pram.Quiescence)
+	if !ok {
+		return 0
+	}
+	quiet := q.QuiescentFor(t)
+	if w.To > 0 && quiet >= w.To-t {
+		return forever
+	}
+	return quiet
 }
 
 // SnapshotState implements pram.Snapshotter, forwarding to the inner
@@ -146,6 +224,7 @@ func (w *Window) RestoreState(state []pram.Word) error {
 
 var _ pram.Adversary = (*Window)(nil)
 var _ pram.Snapshotter = (*Window)(nil)
+var _ pram.Quiescence = (*Window)(nil)
 
 // Targeted fails a fixed set of processors whenever they are alive and
 // optionally revives them after RevivalDelay ticks, modeling persistent
@@ -160,8 +239,37 @@ type Targeted struct {
 	Revive bool
 }
 
-// Name implements pram.Adversary.
-func (t *Targeted) Name() string { return "targeted" }
+// Name implements pram.Adversary. The configuration is part of the
+// name: short PID sets are spelled out, long ones digest to a count
+// plus an FNV hash, and a non-default fail point or the revive flag
+// append as suffixes, so two differently-configured instances never
+// share a bench-table row or sweep-journal key.
+func (t *Targeted) Name() string {
+	var b strings.Builder
+	b.WriteString("targeted(")
+	if len(t.PIDs) <= 8 {
+		for i, pid := range t.PIDs {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			fmt.Fprintf(&b, "%d", pid)
+		}
+	} else {
+		h := fnv.New32a()
+		for _, pid := range t.PIDs {
+			fmt.Fprintf(h, "%d,", pid)
+		}
+		fmt.Fprintf(&b, "#%d:%08x", len(t.PIDs), h.Sum32())
+	}
+	if t.Point != pram.NoFailure && t.Point != pram.FailBeforeReads {
+		fmt.Fprintf(&b, ";%s", t.Point)
+	}
+	if t.Revive {
+		b.WriteString(";revive")
+	}
+	b.WriteByte(')')
+	return b.String()
+}
 
 // Decide implements pram.Adversary.
 func (t *Targeted) Decide(v *pram.View) pram.Decision {

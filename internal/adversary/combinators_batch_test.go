@@ -1,0 +1,53 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/obs"
+	"repro/internal/pram"
+	"repro/internal/writeall"
+)
+
+// TestWindowEnablesTickBatch is the regression for the quiescence-
+// forwarding bug: Window (and Composite) used to not implement
+// pram.Quiescence at all, so a batched run under a closed window
+// silently fell back to per-tick stepping — every run still passed
+// equivalence, but Machine.TickBatch never opened a single quiet
+// window. After the fix, a window adversary that has closed must let
+// the machine commit multi-tick batch windows, visible in the obs
+// counters.
+func TestWindowEnablesTickBatch(t *testing.T) {
+	reg := obs.NewRegistry()
+	pram.EnableObs(reg)
+
+	run := func(adv pram.Adversary) float64 {
+		t.Helper()
+		before, _ := reg.Value(obs.MetricBatches)
+		r := &pram.Runner{BatchTicks: 64}
+		if _, err := r.Run(pram.Config{N: 256, P: 4, MaxTicks: 1 << 16}, writeall.NewTrivial(), adv); err != nil {
+			t.Fatalf("run under %s: %v", adv.Name(), err)
+		}
+		after, _ := reg.Value(obs.MetricBatches)
+		return after - before
+	}
+
+	w := adversary.NewWindow(adversary.NewScheduled([]adversary.Event{
+		{Tick: 2, PID: 1, Kind: adversary.Fail},
+		{Tick: 3, PID: 1, Kind: adversary.Restart},
+	}), 0, 4)
+	if got := run(w); got < 1 {
+		t.Errorf("windowed run committed %v batch windows, want >= 1 (quiet after the window closes)", got)
+	}
+	if v, _ := reg.Value(obs.MetricBatchWindow); v <= 1 {
+		t.Errorf("last batch window = %v ticks, want > 1", v)
+	}
+
+	comp := adversary.NewComposite(
+		adversary.NewScheduled([]adversary.Event{{Tick: 2, PID: 1, Kind: adversary.Fail}}),
+		adversary.NewScheduled([]adversary.Event{{Tick: 5, PID: 2, Kind: adversary.Fail}}),
+	)
+	if got := run(comp); got < 1 {
+		t.Errorf("composite run committed %v batch windows, want >= 1 (all parts quiet after tick 5)", got)
+	}
+}

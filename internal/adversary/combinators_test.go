@@ -92,12 +92,126 @@ func TestTargetedIgnoresOutOfRangePIDs(t *testing.T) {
 
 func TestCombinatorNames(t *testing.T) {
 	w := adversary.NewWindow(adversary.None{}, 0, 5)
-	if got, want := w.Name(), "none@window"; got != want {
+	if got, want := w.Name(), "none@[0,5)"; got != want {
 		t.Errorf("Window.Name() = %q, want %q", got, want)
 	}
-	tg := &adversary.Targeted{}
-	if got := tg.Name(); got != "targeted" {
-		t.Errorf("Targeted.Name() = %q", got)
+	unbounded := adversary.NewWindow(adversary.None{}, 3, 0)
+	if got, want := unbounded.Name(), "none@[3,)"; got != want {
+		t.Errorf("Window.Name() = %q, want %q", got, want)
+	}
+	tg := &adversary.Targeted{PIDs: []int{2, 3}}
+	if got, want := tg.Name(), "targeted(2+3)"; got != want {
+		t.Errorf("Targeted.Name() = %q, want %q", got, want)
+	}
+}
+
+// TestCombinatorNamesNeverCollide is the regression test for the
+// name-collision bug: differently-configured windows and target sets
+// over the same inner adversary used to share "inner@window" and
+// "targeted", conflating bench-table rows and sweep-journal keys.
+func TestCombinatorNamesNeverCollide(t *testing.T) {
+	longA := make([]int, 16)
+	longB := make([]int, 16)
+	for i := range longA {
+		longA[i] = i
+		longB[i] = i
+	}
+	longB[15] = 99
+	named := []pram.Adversary{
+		adversary.NewWindow(adversary.None{}, 0, 5),
+		adversary.NewWindow(adversary.None{}, 0, 6),
+		adversary.NewWindow(adversary.None{}, 1, 5),
+		adversary.NewWindow(adversary.None{}, 0, 0),
+		adversary.NewWindow(adversary.None{}, 5, 0),
+		&adversary.Targeted{PIDs: []int{1}},
+		&adversary.Targeted{PIDs: []int{2}},
+		&adversary.Targeted{PIDs: []int{1, 2}},
+		&adversary.Targeted{PIDs: []int{1}, Revive: true},
+		&adversary.Targeted{PIDs: []int{1}, Point: pram.FailAfterReads},
+		&adversary.Targeted{PIDs: longA},
+		&adversary.Targeted{PIDs: longB},
+	}
+	seen := make(map[string]int)
+	for i, a := range named {
+		name := a.Name()
+		if prev, dup := seen[name]; dup {
+			t.Errorf("adversaries %d and %d share the key %q", prev, i, name)
+		}
+		seen[name] = i
+	}
+}
+
+// TestWindowQuiescence pins the QuiescentFor forwarding: the gap to
+// From before the window, the inner adversary's claim (capped or
+// extended by To) inside it, and forever after a bounded window closes.
+func TestWindowQuiescence(t *testing.T) {
+	const forever = 1 << 40 // anything huge counts as "forever" below
+	inner := adversary.NewScheduled([]adversary.Event{
+		{Tick: 12, PID: 0, Kind: adversary.Fail},
+		{Tick: 30, PID: 0, Kind: adversary.Restart},
+	})
+	w := adversary.NewWindow(inner, 10, 20)
+	cases := []struct {
+		tick, want int
+		orMore     bool
+	}{
+		{tick: 0, want: 10},                     // gap to From
+		{tick: 7, want: 3},                      // gap to From
+		{tick: 10, want: 2},                     // inner's gap to its tick-12 event
+		{tick: 13, want: forever, orMore: true}, // inner quiet through To, window never reopens
+		{tick: 20, want: forever, orMore: true}, // at To: closed forever
+		{tick: 25, want: forever, orMore: true}, // past To
+	}
+	for _, c := range cases {
+		got := w.QuiescentFor(c.tick)
+		if c.orMore && got < c.want {
+			t.Errorf("QuiescentFor(%d) = %d, want >= %d", c.tick, got, c.want)
+		} else if !c.orMore && got != c.want {
+			t.Errorf("QuiescentFor(%d) = %d, want %d", c.tick, got, c.want)
+		}
+	}
+
+	// A window over a non-Quiescence inner still reports the closed
+	// stretches but falls back to 0 inside the window.
+	opaque := adversary.NewWindow(adversary.Thrashing{}, 4, 8)
+	if got := opaque.QuiescentFor(0); got != 4 {
+		t.Errorf("opaque QuiescentFor(0) = %d, want 4", got)
+	}
+	if got := opaque.QuiescentFor(5); got != 0 {
+		t.Errorf("opaque QuiescentFor(5) = %d, want 0", got)
+	}
+	if got := opaque.QuiescentFor(8); got < forever {
+		t.Errorf("opaque QuiescentFor(8) = %d, want forever", got)
+	}
+}
+
+// TestCompositeQuiescence pins the Composite forwarding: the min over
+// the parts when every part implements pram.Quiescence, and no claim
+// at all (the interface is withheld) when any part does not.
+func TestCompositeQuiescence(t *testing.T) {
+	a := adversary.NewScheduled([]adversary.Event{{Tick: 5, PID: 0, Kind: adversary.Fail}})
+	b := adversary.NewScheduled([]adversary.Event{{Tick: 9, PID: 1, Kind: adversary.Fail}})
+	comp := adversary.NewComposite(a, b)
+	q, ok := comp.(pram.Quiescence)
+	if !ok {
+		t.Fatal("composite of Quiescence parts must implement pram.Quiescence")
+	}
+	if got := q.QuiescentFor(0); got != 5 {
+		t.Errorf("QuiescentFor(0) = %d, want 5 (min over parts)", got)
+	}
+	if got := q.QuiescentFor(6); got != 3 {
+		t.Errorf("QuiescentFor(6) = %d, want 3", got)
+	}
+	if got := q.QuiescentFor(10); got < 1<<30 {
+		t.Errorf("QuiescentFor(10) = %d, want forever", got)
+	}
+
+	mixed := adversary.NewComposite(a, adversary.Thrashing{})
+	if _, ok := mixed.(pram.Quiescence); ok {
+		t.Error("composite with a non-Quiescence part must not claim pram.Quiescence")
+	}
+	if _, ok := mixed.(pram.Snapshotter); !ok {
+		t.Error("plain composite must still implement pram.Snapshotter")
 	}
 }
 

@@ -1,0 +1,123 @@
+package advlab
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func windowStrategy(from, to int, pids []int) Strategy {
+	return Strategy{
+		Name: "w",
+		Rules: []Rule{{
+			Trigger: Trigger{Kind: TriggerWindow, From: from, To: to},
+			Target:  Target{Kind: TargetPIDs, PIDs: pids},
+		}},
+	}
+}
+
+// TestStrategyJSONRoundTrip pins the engine-spec contract: a strategy
+// round-trips through JSON to an equal value, and parsing validates.
+func TestStrategyJSONRoundTrip(t *testing.T) {
+	s := Strategy{
+		Name: "mixed",
+		Seed: 42,
+		Rules: []Rule{
+			{
+				Trigger:      Trigger{Kind: TriggerEvery, Period: 8, Duty: 2},
+				Target:       Target{Kind: TargetRandom, K: 3},
+				Point:        PointAfterReads,
+				RestartAfter: 4,
+				Budget:       Budget{MaxEvents: 100, MaxDead: 2},
+			},
+			{
+				Trigger: Trigger{Kind: TriggerProgress, MinFrac: 0.25, MaxFrac: 0.75},
+				Target:  Target{Kind: TargetRotate, K: 2, Step: 3},
+			},
+		},
+	}
+	got, err := ParseStrategy(s.Canonical())
+	if err != nil {
+		t.Fatalf("ParseStrategy: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", got, s)
+	}
+	if got.Digest() != s.Digest() {
+		t.Errorf("round trip changed the digest: %s != %s", got.Digest(), s.Digest())
+	}
+
+	list, err := ParseStrategies([]byte("[" + string(s.Canonical()) + "]"))
+	if err != nil || len(list) != 1 || !reflect.DeepEqual(list[0], s) {
+		t.Errorf("ParseStrategies = %+v, %v; want one equal strategy", list, err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Strategy{
+		{Name: "empty"},
+		{Name: "trig", Rules: []Rule{{Trigger: Trigger{Kind: "sometimes"}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "win", Rules: []Rule{{Trigger: Trigger{Kind: TriggerWindow, From: 5, To: 3}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "per", Rules: []Rule{{Trigger: Trigger{Kind: TriggerEvery}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "duty", Rules: []Rule{{Trigger: Trigger{Kind: TriggerEvery, Period: 4, Duty: 5}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "frac", Rules: []Rule{{Trigger: Trigger{Kind: TriggerProgress, MinFrac: 0.8, MaxFrac: 0.2}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "stall", Rules: []Rule{{Trigger: Trigger{Kind: TriggerStall}, Target: Target{Kind: TargetAllButOne}}}},
+		{Name: "tgt", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: "everyone"}}}},
+		{Name: "pids", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: TargetPIDs}}}},
+		{Name: "k", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: TargetRandom}}}},
+		{Name: "pt", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: TargetAllButOne}, Point: "late"}}},
+		{Name: "ra", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: TargetAllButOne}, RestartAfter: -1}}},
+		{Name: "bud", Rules: []Rule{{Trigger: Trigger{Kind: TriggerAlways}, Target: Target{Kind: TargetAllButOne}, Budget: Budget{MaxEvents: -1}}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("strategy %q validated; want rejection", s.Name)
+		}
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("strategy %q compiled; want rejection", s.Name)
+		}
+	}
+}
+
+// TestCompiledNamesNeverCollide is the lab's half of the name-collision
+// regression: every distinct spec gets a distinct digest-qualified
+// Name(), so tournament rows and search-journal keys stay unambiguous.
+func TestCompiledNamesNeverCollide(t *testing.T) {
+	specs := []Strategy{
+		windowStrategy(0, 5, []int{1}),
+		windowStrategy(0, 6, []int{1}),
+		windowStrategy(1, 5, []int{1}),
+		windowStrategy(0, 5, []int{2}),
+		windowStrategy(0, 5, []int{1, 2}),
+		{Name: "w", Seed: 1, Rules: windowStrategy(0, 5, []int{1}).Rules},
+	}
+	seen := make(map[string]int)
+	for i, s := range specs {
+		name := MustCompile(s).Name()
+		if !strings.HasPrefix(name, "lab:w#") {
+			t.Errorf("Name() = %q, want lab:w#<digest>", name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("specs %d and %d share the name %q", prev, i, name)
+		}
+		seen[name] = i
+	}
+}
+
+// TestCanonicalIsStable pins the canonical encoding's field surface: a
+// digest is only as stable as the JSON it hashes, and journal keys
+// embed it.
+func TestCanonicalIsStable(t *testing.T) {
+	s := windowStrategy(2, 9, []int{0, 3})
+	var m map[string]any
+	if err := json.Unmarshal(s.Canonical(), &m); err != nil {
+		t.Fatalf("canonical not JSON: %v", err)
+	}
+	if m["name"] != "w" {
+		t.Errorf("canonical name = %v", m["name"])
+	}
+	if _, ok := m["rules"]; !ok {
+		t.Error("canonical missing rules")
+	}
+}

@@ -1,0 +1,69 @@
+package advlab
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// labObs holds the lab's progress hooks: tournament match completions,
+// match errors, search iterations (scored, journal-replayed, improving),
+// and the best σ the latest search has found. Nil until EnableObs
+// installs one; every hook site is nil-checked, so a lab run without
+// observability pays one atomic load per match.
+type labObs struct {
+	matches     *obs.Counter
+	matchErrors *obs.Counter
+	iters       *obs.Counter
+	replayed    *obs.Counter
+	improved    *obs.Counter
+	bestSigma   *obs.Gauge
+}
+
+var lObs atomic.Pointer[labObs]
+
+// EnableObs registers the strategy lab's metrics in r and turns the
+// hooks on, process-wide. Idempotent per registry; pair it with
+// pram.EnableObs and bench.EnableObs for the machine- and sweep-level
+// counters a tournament also drives.
+func EnableObs(r *obs.Registry) {
+	lObs.Store(&labObs{
+		matches:     r.Counter(obs.MetricLabMatches, "tournament matches completed, successfully or not"),
+		matchErrors: r.Counter(obs.MetricLabMatchErrors, "tournament matches that ended in a run error"),
+		iters:       r.Counter(obs.MetricLabSearchIters, "strategy-search iterations scored"),
+		replayed:    r.Counter(obs.MetricLabSearchReplayed, "search iterations served from the journal on resume"),
+		improved:    r.Counter(obs.MetricLabSearchImproved, "search iterations that improved the best-so-far"),
+		bestSigma:   r.Gauge(obs.MetricLabBestSigmaMilli, "best σ found by the latest search, ×1000"),
+	})
+}
+
+func obsMatch(err error) {
+	h := lObs.Load()
+	if h == nil {
+		return
+	}
+	h.matches.Inc()
+	if err != nil {
+		h.matchErrors.Inc()
+	}
+}
+
+func obsIter(replayed bool) {
+	h := lObs.Load()
+	if h == nil {
+		return
+	}
+	h.iters.Inc()
+	if replayed {
+		h.replayed.Inc()
+	}
+}
+
+func obsImproved(sigma float64) {
+	h := lObs.Load()
+	if h == nil {
+		return
+	}
+	h.improved.Inc()
+	h.bestSigma.Set(int64(sigma * 1000))
+}

@@ -1,0 +1,295 @@
+package advlab
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	failstop "repro"
+	"repro/internal/bench"
+	"repro/internal/pram"
+)
+
+// Entrant is one adversary entered in a tournament: a stable name plus
+// a constructor, because adversaries are stateful and every match needs
+// a fresh instance.
+type Entrant struct {
+	Name string
+	New  func() (pram.Adversary, error)
+}
+
+// StrategyEntrant enters a DSL strategy: each match compiles a fresh
+// adversary from the spec, so matches never share stream positions or
+// kill ledgers.
+func StrategyEntrant(s Strategy) Entrant {
+	name := fmt.Sprintf("lab:%s#%s", s.Name, s.Digest())
+	return Entrant{
+		Name: name,
+		New: func() (pram.Adversary, error) {
+			c, err := s.Compile()
+			return c, err
+		},
+	}
+}
+
+// HandWritten is the repo's hand-written adversary grid (the engine's
+// registry, constructed fresh per match) for an n×p machine: the
+// baseline every searched strategy is measured against.
+func HandWritten(n, p int, seed int64) []Entrant {
+	return []Entrant{
+		{Name: "none", New: func() (pram.Adversary, error) { return failstop.NoFailures(), nil }},
+		{Name: "random", New: func() (pram.Adversary, error) { return failstop.RandomFailures(0.1, 0.8, seed), nil }},
+		{Name: "thrashing", New: func() (pram.Adversary, error) { return failstop.ThrashingAdversary(false), nil }},
+		{Name: "rotating", New: func() (pram.Adversary, error) { return failstop.ThrashingAdversary(true), nil }},
+		{Name: "halving", New: func() (pram.Adversary, error) { return failstop.HalvingAdversary(), nil }},
+		{Name: "postorder", New: func() (pram.Adversary, error) { return failstop.PostOrderAdversary(n, p), nil }},
+		{Name: "stalking", New: func() (pram.Adversary, error) { return failstop.StalkingAdversary(n, p, true), nil }},
+		{Name: "stalking-failstop", New: func() (pram.Adversary, error) { return failstop.StalkingAdversary(n, p, false), nil }},
+	}
+}
+
+// BuiltinStrategies is the lab's seed portfolio: DSL renderings of the
+// paper's archetypes (burst, thrash, decimate, stalk-by-stall), used as
+// tournament entrants and as the search's starting population.
+func BuiltinStrategies(p int) []Strategy {
+	half := make([]int, 0, p/2)
+	for pid := 0; pid < p/2; pid++ {
+		half = append(half, pid)
+	}
+	if len(half) == 0 {
+		half = []int{0}
+	}
+	return []Strategy{
+		{
+			Name: "burst",
+			Rules: []Rule{{
+				Trigger: Trigger{Kind: TriggerWindow, From: 2, To: 6},
+				Target:  Target{Kind: TargetPIDs, PIDs: half},
+				Point:   PointAfterReads,
+			}},
+		},
+		{
+			Name: "thrash",
+			Rules: []Rule{{
+				Trigger:      Trigger{Kind: TriggerAlways},
+				Target:       Target{Kind: TargetAllButOne},
+				RestartAfter: 1,
+			}},
+		},
+		{
+			Name: "decimate",
+			Seed: 1,
+			Rules: []Rule{{
+				Trigger:      Trigger{Kind: TriggerEvery, Period: 8, Duty: 1},
+				Target:       Target{Kind: TargetRandom, K: max(1, p/4)},
+				Point:        PointAfterReads,
+				RestartAfter: 4,
+				Budget:       Budget{MaxEvents: int64(4 * p)},
+			}},
+		},
+		{
+			Name: "stalk",
+			Rules: []Rule{{
+				Trigger:      Trigger{Kind: TriggerProgress, MinFrac: 0.5},
+				Target:       Target{Kind: TargetRotate, K: max(1, p/2), Step: 1},
+				Point:        PointAfterReads,
+				RestartAfter: 2,
+				Budget:       Budget{MaxDead: max(1, p-1)},
+			}},
+		},
+	}
+}
+
+// Tournament sweeps entrants × algorithms on one machine shape.
+type Tournament struct {
+	// N and P shape the Write-All instance; MaxTicks bounds each match
+	// (0 = the machine default).
+	N, P     int
+	MaxTicks int
+	// Algorithms names the Write-All algorithms entered (the engine
+	// registry's names); empty means {X, V, combined}.
+	Algorithms []string
+	// Seed feeds seed-taking algorithms (ACC) and the random baseline.
+	Seed int64
+	// Entrants is the adversary bracket; empty means the hand-written
+	// grid plus the built-in strategy portfolio.
+	Entrants []Entrant
+}
+
+// MatchResult is one match's outcome.
+type MatchResult struct {
+	Algorithm string       `json:"algorithm"`
+	Adversary string       `json:"adversary"`
+	Metrics   pram.Metrics `json:"metrics"`
+	Err       string       `json:"err,omitempty"`
+}
+
+// Sigma returns the match's measured overhead σ = S/(N+|F|).
+func (m MatchResult) Sigma() float64 { return m.Metrics.Overhead() }
+
+// newAlgorithm mirrors engine.NewAlgorithm over the root package.
+// (advlab cannot import internal/engine — the engine's lab spec imports
+// advlab — so the lab carries its own copy of the name switch; the
+// conformance test in internal/engine pins the two registries equal.)
+func newAlgorithm(name string, seed int64) (pram.Algorithm, bool, error) {
+	switch name {
+	case "X":
+		return failstop.NewX(), false, nil
+	case "V":
+		return failstop.NewV(), false, nil
+	case "combined":
+		return failstop.NewCombined(), false, nil
+	case "W":
+		return failstop.NewW(), false, nil
+	case "oblivious":
+		return failstop.NewOblivious(), true, nil
+	case "ACC":
+		return failstop.NewACC(seed), false, nil
+	case "trivial":
+		return failstop.NewTrivial(), false, nil
+	case "sequential":
+		return failstop.NewSequential(), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// Algorithms returns the lab's algorithm registry, which must match
+// engine.Algorithms (pinned by a test in internal/engine).
+func Algorithms() []string {
+	return []string{"X", "V", "combined", "W", "oblivious", "ACC", "trivial", "sequential"}
+}
+
+// Run plays every entrant against every algorithm through the bench
+// harness (pooled runners, point watchdog, obs accounting) and returns
+// the results in bracket order: algorithms outer, entrants inner. A
+// match that errors — tick limit, hung point — degrades to a result
+// with Err set and zero metrics; a canceled ctx drains the remaining
+// matches the same way.
+func (t Tournament) Run(ctx context.Context) ([]MatchResult, error) {
+	if t.N <= 0 || t.P <= 0 {
+		return nil, fmt.Errorf("advlab: tournament needs positive N and P, got %d, %d", t.N, t.P)
+	}
+	algs := t.Algorithms
+	if len(algs) == 0 {
+		algs = []string{"X", "V", "combined"}
+	}
+	entrants := t.Entrants
+	if len(entrants) == 0 {
+		entrants = HandWritten(t.N, t.P, t.Seed)
+		for _, s := range BuiltinStrategies(t.P) {
+			entrants = append(entrants, StrategyEntrant(s))
+		}
+	}
+	var out []MatchResult
+	for _, alg := range algs {
+		if _, _, err := newAlgorithm(alg, t.Seed); err != nil {
+			return nil, fmt.Errorf("advlab: %w", err)
+		}
+		for _, e := range entrants {
+			out = append(out, t.play(ctx, alg, e))
+		}
+	}
+	return out, nil
+}
+
+// play runs one match.
+func (t Tournament) play(ctx context.Context, algName string, e Entrant) MatchResult {
+	res := MatchResult{Algorithm: algName, Adversary: e.Name}
+	m, err := safeRun(ctx, t.N, t.P, t.MaxTicks, algName, t.Seed, e)
+	obsMatch(err)
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Metrics = m
+	}
+	return res
+}
+
+// safeRun plays one matchup through the bench harness, converting a
+// panic into a match error. Some hand-written adversaries are built
+// against one algorithm's memory layout (post-order and stalking read
+// X's tree cells) and panic when bracketed against another; a
+// tournament must degrade that pairing to an errored match, the way a
+// sweep degrades a failed point, not crash the bracket.
+func safeRun(ctx context.Context, n, p, maxTicks int, algName string, seed int64, e Entrant) (m pram.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = pram.Metrics{}, fmt.Errorf("match panicked: %v", r)
+		}
+	}()
+	alg, needsSnapshot, err := newAlgorithm(algName, seed)
+	if err != nil {
+		return pram.Metrics{}, err
+	}
+	adv, err := e.New()
+	if err != nil {
+		return pram.Metrics{}, err
+	}
+	cfg := pram.Config{N: n, P: p, MaxTicks: maxTicks, AllowSnapshot: needsSnapshot}
+	return bench.Run(ctx, cfg, alg, adv)
+}
+
+// FrontierTable renders one algorithm's empirical frontier: its matches
+// sorted by measured σ, worst adversary first, with the S/S′/|F| the
+// ordering derives from. Errored matches fall to the bottom and are
+// reported in Table.Errors, like degraded sweep points.
+func FrontierTable(algorithm string, results []MatchResult) bench.Table {
+	tb := bench.Table{
+		ID:     "LAB",
+		Title:  fmt.Sprintf("adversary frontier for %s", algorithm),
+		Claim:  "σ = S/(N+|F|) per Definition 2.3; the frontier's max is the algorithm's measured overhead envelope",
+		Header: []string{"adversary", "sigma", "S", "S'", "|F|", "ticks"},
+	}
+	var rows []MatchResult
+	for _, r := range results {
+		if r.Algorithm != algorithm {
+			continue
+		}
+		if r.Err != "" {
+			tb.Errors = append(tb.Errors, fmt.Sprintf("%s: %s", r.Adversary, r.Err))
+			continue
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		si, sj := rows[i].Sigma(), rows[j].Sigma()
+		if si != sj {
+			return si > sj
+		}
+		return rows[i].Metrics.S() > rows[j].Metrics.S()
+	})
+	for _, r := range rows {
+		m := r.Metrics
+		tb.Rows = append(tb.Rows, []string{
+			r.Adversary,
+			fmt.Sprintf("%.3f", r.Sigma()),
+			fmt.Sprintf("%d", m.S()),
+			fmt.Sprintf("%d", m.SPrime()),
+			fmt.Sprintf("%d", m.FSize()),
+			fmt.Sprintf("%d", m.Ticks),
+		})
+	}
+	if len(rows) > 0 {
+		tb.Notes = append(tb.Notes, fmt.Sprintf("worst adversary: %s at σ=%.3f", rows[0].Adversary, rows[0].Sigma()))
+	}
+	return tb
+}
+
+// FrontierTables renders one frontier table per algorithm, in the
+// bracket's algorithm order.
+func FrontierTables(results []MatchResult) []bench.Table {
+	var order []string
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if !seen[r.Algorithm] {
+			seen[r.Algorithm] = true
+			order = append(order, r.Algorithm)
+		}
+	}
+	tables := make([]bench.Table, 0, len(order))
+	for _, alg := range order {
+		tables = append(tables, FrontierTable(alg, results))
+	}
+	return tables
+}

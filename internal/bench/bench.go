@@ -260,6 +260,16 @@ func runWA(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Ad
 	}
 }
 
+// Run executes one Write-All run through the harness's sweep-point
+// machinery — the pooled Runner, the wall-clock point watchdog
+// (SetPointDeadline), and the obs point accounting. It is the primitive
+// the experiment registry and the adversary strategy lab
+// (internal/advlab) share: a lab matchup is accounted and degraded
+// exactly like a sweep point.
+func Run(ctx context.Context, cfg pram.Config, alg pram.Algorithm, adv pram.Adversary) (pram.Metrics, error) {
+	return runWA(ctx, cfg, alg, adv)
+}
+
 // runners pools pram.Runner values so the sweep grid reuses machine
 // allocations across runs and across bench.Points goroutines (a Runner is
 // single-goroutine; the pool hands each worker its own).

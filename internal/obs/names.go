@@ -59,6 +59,14 @@ const (
 	MetricJobsCanceled  = "jobs_canceled_total"  // jobs finished in state canceled
 	MetricJobsResumed   = "jobs_resumed_total"   // interrupted jobs re-enqueued by crash recovery
 
+	// internal/advlab — the adversary strategy lab.
+	MetricLabMatches        = "advlab_matches_total"         // tournament matches completed (either outcome)
+	MetricLabMatchErrors    = "advlab_match_errors_total"    // matches that ended in a run error
+	MetricLabSearchIters    = "advlab_search_iters_total"    // strategy-search iterations scored
+	MetricLabSearchReplayed = "advlab_search_replayed_total" // iterations served from the journal on resume
+	MetricLabSearchImproved = "advlab_search_improved_total" // iterations that improved the best-so-far
+	MetricLabBestSigmaMilli = "advlab_best_sigma_milli"      // best σ found by the latest search, ×1000
+
 	// internal/fabric — the distributed sweep coordinator (Do-All over
 	// crash-prone workers).
 	MetricFabricTasks            = "fabric_tasks_total"             // tasks enqueued at coordinator start
